@@ -1,0 +1,31 @@
+# Canonical project commands.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-tables examples lint-smoke all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The paper-style decision tables (EXPERIMENTS.md material).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; \
+		$(PYTHON) $$f > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+# Byte-compile everything as a cheap syntax/import smoke test.
+lint-smoke:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+
+all: install test bench examples

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (see DESIGN.md section 3
+and EXPERIMENTS.md).  Besides pytest-benchmark timings, benchmarks
+print small tables in the paper's terms; run with ``-s`` to see them::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def emit_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned text table (visible with pytest -s)."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x) — the scaling exponent."""
+    import math
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    den = sum((a - mean_x) ** 2 for a in lx)
+    return num / den

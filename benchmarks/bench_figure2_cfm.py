@@ -1,0 +1,85 @@
+"""E2 — Figure 2: the Concurrent Flow Mechanism.
+
+Reproduces the certification decisions of Figure 2 on the paper's
+section 4.2 examples and measures CFM throughput on the sequential and
+concurrent corpora.
+"""
+
+import pytest
+
+from benchmarks._util import emit_table
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.inference import infer_binding
+from repro.lattice.chain import two_level
+from repro.workloads.paper import section42_composition, section42_loop
+from repro.workloads.suites import corpus
+
+SCHEME = two_level()
+
+
+def _bindings_for(subjects):
+    """Pair every corpus program with its inferred (certifying) binding."""
+    out = []
+    for name, prog in subjects:
+        binding = infer_binding(prog, SCHEME, {}).binding
+        out.append((name, prog, binding))
+    return out
+
+
+def test_section42_decisions():
+    """The two new checks of section 4.2, exactly as the paper states."""
+    loop = section42_loop()
+    comp = section42_composition()
+    rows = []
+    for name, stmt, classes, expect in [
+        ("4.2 loop", loop, {"sem": "high", "y": "low"}, False),
+        ("4.2 loop", section42_loop(), {"sem": "low", "y": "low"}, True),
+        ("4.2 comp", comp, {"sem": "high", "y": "low"}, False),
+        ("4.2 comp", section42_composition(), {"sem": "low", "y": "high"}, True),
+    ]:
+        got = certify(stmt, StaticBinding(SCHEME, classes)).certified
+        assert got == expect, (name, classes)
+        rows.append((name, classes, "certified" if got else "rejected"))
+    emit_table(
+        "E2: section 4.2 certification decisions (paper: reject high sem -> low y)",
+        ["example", "binding", "CFM"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("corpus_name", ["sequential", "concurrent"])
+def test_cfm_throughput(benchmark, corpus_name):
+    cases = _bindings_for(corpus(corpus_name))
+
+    def run_all():
+        certified = 0
+        for _, prog, binding in cases:
+            if certify(prog, binding).certified:
+                certified += 1
+        return certified
+
+    certified = benchmark(run_all)
+    assert certified == len(cases)  # inferred bindings always certify
+
+
+def test_cfm_rejection_throughput(benchmark):
+    """Rejection costs the same single pass as acceptance."""
+    cases = []
+    for name, prog in corpus("concurrent"):
+        from repro.lang.ast import used_variables
+
+        names = sorted(used_variables(prog.body))
+        classes = {n: "low" for n in names}
+        classes[names[0]] = "high"
+        cases.append((prog, StaticBinding(SCHEME, classes)))
+
+    def run_all():
+        return sum(1 for prog, binding in cases if not certify(prog, binding).certified)
+
+    rejected = benchmark(run_all)
+    emit_table(
+        "E2: concurrent corpus with first-variable-high bindings",
+        ["programs", "rejected"],
+        [(len(cases), rejected)],
+    )

@@ -1,0 +1,91 @@
+"""E10 — binding inference and the global-flow ablation.
+
+(a) Cost of inferring least bindings over the corpora.  (b) Ablation
+quantifying what the Dennings' mechanism misses: over random concurrent
+programs with one high-pinned variable, how often does the sequential
+view (no global flows) accept a binding that CFM rejects?
+"""
+
+import random
+
+from benchmarks._util import emit_table
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.core.inference import infer_binding
+from repro.lang.ast import used_variables
+from repro.lattice.chain import two_level
+from repro.workloads.suites import corpus
+
+SCHEME = two_level()
+
+
+def test_inference_throughput(benchmark):
+    cases = corpus("concurrent")
+
+    def infer_all():
+        sat = 0
+        for _, prog in cases:
+            if infer_binding(prog, SCHEME, {}).satisfiable:
+                sat += 1
+        return sat
+
+    assert benchmark(infer_all) == len(cases)
+
+
+def test_inference_with_pins(benchmark):
+    cases = []
+    for name, prog in corpus("concurrent"):
+        names = sorted(used_variables(prog.body))
+        rng = random.Random(hash(name) & 0xFFFF)
+        pins = {rng.choice(names): "high"}
+        cases.append((prog, pins))
+
+    def infer_all():
+        return sum(
+            1 for prog, pins in cases
+            if infer_binding(prog, SCHEME, pins).satisfiable
+        )
+
+    sat = benchmark(infer_all)
+    assert sat == len(cases)  # one pin is always completable upward
+
+
+def test_global_flow_ablation():
+    """How often do global flows matter?  For each concurrent program,
+    pin one variable high and bind the rest low: compare the sequential
+    (Denning) verdict with CFM's."""
+    both_reject = only_cfm_rejects = both_accept = 0
+    for name, prog in corpus("concurrent"):
+        names = sorted(used_variables(prog.body))
+        rng = random.Random(hash(name) & 0xFFFF)
+        high = rng.choice(names)
+        classes = {n: ("high" if n == high else "low") for n in names}
+        binding = StaticBinding(SCHEME, classes)
+        cfm = certify(prog, binding).certified
+        den = certify_denning(prog, binding, on_concurrency="ignore").certified
+        assert not (cfm and not den)  # CFM is strictly stronger
+        if cfm:
+            both_accept += 1
+        elif den:
+            only_cfm_rejects += 1
+        else:
+            both_reject += 1
+    emit_table(
+        "E10: global-flow ablation on the concurrent corpus "
+        "(one variable high, rest low)",
+        ["both accept", "only CFM rejects (missed flows)", "both reject"],
+        [(both_accept, only_cfm_rejects, both_reject)],
+    )
+    # The corpus must actually demonstrate the paper's gap.
+    assert only_cfm_rejects > 0
+
+
+def test_unsat_detection_speed(benchmark):
+    from repro.workloads.paper import figure3_program
+
+    def infer():
+        return infer_binding(figure3_program(), SCHEME, {"x": "high", "y": "low"})
+
+    result = benchmark(infer)
+    assert not result.satisfiable

@@ -1,0 +1,100 @@
+"""E7 — Section 6: "both mechanisms can be computed in time proportional
+to the length of the program, once the program has been parsed".
+
+Times CFM and the Denning baseline on pre-parsed programs from ~100 to
+~10,000 statements, prints the per-statement cost, and fits the log-log
+scaling exponent (1.0 = linear).
+"""
+
+import time
+
+import pytest
+
+from benchmarks._util import emit_table, loglog_slope
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.lang.ast import program_size, used_variables
+from repro.lattice.chain import two_level
+from repro.workloads.generators import sized_program
+
+SCHEME = two_level()
+SIZES = [100, 300, 1_000, 3_000, 10_000]
+
+
+def _case(size):
+    prog = sized_program(7, size, p_cobegin=0.15, p_sem_op=0.1)
+    binding = StaticBinding(
+        SCHEME, {}, default="low"
+    ).with_bindings({n: "low" for n in used_variables(prog.body)})
+    return prog, binding
+
+
+def _time(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_linearity_table():
+    rows = []
+    sizes, cfm_times, den_times = [], [], []
+    for size in SIZES:
+        prog, binding = _case(size)
+        n = program_size(prog.body)
+        t_cfm = _time(lambda: certify(prog, binding))
+        t_den = _time(lambda: certify_denning(prog, binding, on_concurrency="ignore"))
+        sizes.append(n)
+        cfm_times.append(t_cfm)
+        den_times.append(t_den)
+        rows.append(
+            (
+                n,
+                f"{t_cfm * 1e3:.2f}",
+                f"{t_cfm / n * 1e6:.2f}",
+                f"{t_den * 1e3:.2f}",
+                f"{t_den / n * 1e6:.2f}",
+            )
+        )
+    slope_cfm = loglog_slope(sizes, cfm_times)
+    slope_den = loglog_slope(sizes, den_times)
+    emit_table(
+        "E7: certification time vs program length (post-parse)",
+        ["statements", "CFM ms", "CFM us/stmt", "Denning ms", "Denning us/stmt"],
+        rows,
+    )
+    print(f"scaling exponent: CFM {slope_cfm:.3f}, Denning {slope_den:.3f} "
+          f"(1.0 = the paper's linear claim)")
+    # Near-linear: allow measurement noise and dict-resize effects.
+    assert slope_cfm < 1.35, slope_cfm
+    assert slope_den < 1.35, slope_den
+
+
+@pytest.mark.parametrize("size", [300, 3_000])
+def test_cfm_certification_speed(benchmark, size):
+    prog, binding = _case(size)
+    report = benchmark(lambda: certify(prog, binding))
+    assert report.certified
+
+
+@pytest.mark.parametrize("size", [300, 3_000])
+def test_denning_certification_speed(benchmark, size):
+    prog, binding = _case(size)
+    report = benchmark(
+        lambda: certify_denning(prog, binding, on_concurrency="ignore")
+    )
+    assert report.certified
+
+
+def test_parse_time_excluded_note(benchmark):
+    """The claim is post-parse; parsing itself is also near-linear but
+    measured separately for transparency."""
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty
+
+    source = pretty(sized_program(7, 2_000))
+    prog = benchmark(lambda: parse_program(source))
+    assert program_size(prog.body) > 1_000

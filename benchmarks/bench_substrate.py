@@ -1,0 +1,89 @@
+"""E13 — substrate calibration: the runtime and explorer themselves.
+
+Not a paper artifact, but the credibility of every dynamic experiment
+rests on the substrate, so we characterize it: interpreter step rate,
+explorer state growth against cobegin width (the expected combinatorial
+blow-up, and that memoization contains it for commuting actions), and
+monitor overhead.
+"""
+
+import pytest
+
+from benchmarks._util import emit_table
+from repro.core.binding import StaticBinding
+from repro.lang import builder as b
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import two_level
+from repro.runtime.executor import run
+from repro.runtime.explorer import explore
+from repro.runtime.taint import TaintMonitor
+
+SCHEME = two_level()
+
+
+def _counting_loop(iters: int):
+    return parse_statement(
+        f"begin i := 0; while i < {iters} do i := i + 1 end"
+    )
+
+
+def test_interpreter_step_rate(benchmark):
+    stmt = _counting_loop(2_000)
+    result = benchmark(lambda: run(_counting_loop(2_000), max_steps=100_000))
+    assert result.completed
+    # ~2 steps per iteration plus entry/exit.
+    assert result.steps > 4_000
+
+
+def test_monitor_overhead_measured(benchmark):
+    binding = StaticBinding(SCHEME, {"i": "low"})
+
+    def monitored():
+        monitor = TaintMonitor.from_binding(binding, ["i"])
+        return run(_counting_loop(1_000), monitor=monitor, max_steps=50_000)
+
+    result = benchmark(monitored)
+    assert result.completed
+
+
+def _independent_writers(width: int):
+    return b.cobegin(*[b.assign(f"w{i}", i) for i in range(width)])
+
+
+def _racing_writers(width: int):
+    return b.cobegin(*[b.assign("x", b.add("x", 1)) for _ in range(width)])
+
+
+def test_explorer_state_growth():
+    rows = []
+    for width in (2, 4, 6, 8):
+        indep = explore(_independent_writers(width))
+        racy = explore(_racing_writers(width))
+        rows.append(
+            (
+                width,
+                indep.states_visited,
+                len(indep.completed_outcomes),
+                racy.states_visited,
+                len(racy.completed_outcomes),
+            )
+        )
+    emit_table(
+        "E13: explorer scaling vs cobegin width",
+        ["width", "indep states", "indep outcomes", "racy states", "racy outcomes"],
+        rows,
+    )
+    # Independent writers: the state space is the 2^width subsets of
+    # done-writers (plus bookkeeping), far below width! interleavings,
+    # and there is exactly one final outcome.
+    for width, indep_states, indep_outcomes, _, racy_outcomes in rows:
+        assert indep_outcomes == 1
+        assert indep_states <= 2 ** width + width + 3
+        # x := x+1 races still commute to a single sum.
+        assert racy_outcomes == 1
+
+
+@pytest.mark.parametrize("width", [4, 6])
+def test_exploration_speed(benchmark, width):
+    result = benchmark(lambda: explore(_independent_writers(width)))
+    assert result.complete

@@ -1,0 +1,83 @@
+"""E5 — Theorem 2 and the biconditional.
+
+Over random (program, binding) pairs — certified or not — confirm:
+cert(S) holds iff the Theorem 1 generator produces a checker-accepted
+completely invariant proof, and every completely invariant proof
+extracts back to a successful certification.
+"""
+
+import random
+
+from benchmarks._util import emit_table
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.errors import GenerationError
+from repro.lang.ast import used_variables
+from repro.lattice.chain import two_level
+from repro.logic.checker import check_proof
+from repro.logic.extract import certification_from_proof
+from repro.logic.generator import generate_proof
+from repro.workloads.generators import random_program
+
+SCHEME = two_level()
+
+
+def _random_cases(n=40):
+    cases = []
+    for seed in range(n):
+        prog = random_program(seed, size=28, p_cobegin=0.2, p_sem_op=0.15)
+        rng = random.Random(seed ^ 0xD00D)
+        names = sorted(used_variables(prog.body))
+        binding = StaticBinding(
+            SCHEME, {v: rng.choice(["low", "high"]) for v in names}
+        )
+        cases.append((prog, binding))
+    return cases
+
+
+def test_biconditional(benchmark):
+    cases = _random_cases()
+
+    def sweep():
+        certified = proved = agreed = 0
+        for prog, binding in cases:
+            report = certify(prog, binding)
+            if report.certified:
+                certified += 1
+                proof = generate_proof(prog, binding, report=report)
+                assert check_proof(proof, SCHEME).ok
+                assert certification_from_proof(proof, binding).certified
+                proved += 1
+                agreed += 1
+            else:
+                try:
+                    generate_proof(prog, binding, report=report)
+                except GenerationError:
+                    agreed += 1
+        return certified, proved, agreed
+
+    certified, proved, agreed = benchmark(sweep)
+    emit_table(
+        "E5: CFM certification <=> completely invariant proof",
+        ["random cases", "certified", "proof generated+checked", "agreement"],
+        [(len(cases), certified, proved, f"{agreed}/{len(cases)}")],
+    )
+    assert agreed == len(cases)
+    assert 0 < certified < len(cases)  # the corpus exercises both sides
+
+
+def test_extraction_throughput(benchmark):
+    from repro.workloads.generators import random_certified_case
+
+    proofs = []
+    for seed in range(20):
+        prog, binding = random_certified_case(seed, SCHEME, size=30, n_pins=2)
+        proofs.append((generate_proof(prog, binding), binding))
+
+    def extract_all():
+        return sum(
+            1 for proof, binding in proofs
+            if certification_from_proof(proof, binding).certified
+        )
+
+    assert benchmark(extract_all) == len(proofs)

@@ -1,0 +1,118 @@
+"""The confinement problem (Lampson 1973, the paper's reference [7]).
+
+A customer process hands a secret to a service process for processing;
+the service must return the result yet be *confined*: unable to leak
+the secret to its owner through any channel the language can express.
+This example builds the scenario as a three-process program —
+customer, service, and the service-owner's collector — and uses the
+library to:
+
+1. certify the honest service (the secret flows customer -> service ->
+   customer only);
+2. catch a trojan service that exfiltrates the secret through the
+   *timing of its acknowledgements* (a pure synchronization channel);
+3. show the exfiltration working end-to-end at runtime, and the
+   binding inference pinpointing the requirement that makes it illegal.
+
+Run: python examples/confinement.py
+"""
+
+from repro import StaticBinding, certify, parse_program, two_level
+from repro.core.inference import infer_binding
+from repro.runtime.explorer import explore
+
+HONEST = """
+var secret, result, collected : integer;
+    request, reply : semaphore initially(0);
+cobegin
+  -- customer: submit, await the answer
+  begin
+    secret := secret + 0;
+    signal(request);
+    wait(reply)
+  end
+||
+  -- service: compute on the secret, acknowledge
+  begin
+    wait(request);
+    result := secret * 2;
+    signal(reply)
+  end
+||
+  -- the service owner's collector: gathers only public telemetry
+  collected := 1
+coend
+"""
+
+TROJAN = """
+var secret, result, collected : integer;
+    request, reply, covert : semaphore initially(0);
+cobegin
+  begin
+    secret := secret + 0;
+    signal(request);
+    wait(reply)
+  end
+||
+  -- trojan service: signals the covert semaphore only for odd secrets
+  begin
+    wait(request);
+    result := secret * 2;
+    if secret mod 2 = 1 then signal(covert);
+    signal(reply)
+  end
+||
+  -- the owner's collector decodes the covert acknowledgement
+  begin
+    collected := 0;
+    wait(covert);
+    collected := 1
+  end
+coend
+"""
+
+
+def main() -> None:
+    scheme = two_level()
+
+    print("== the honest service ==")
+    honest = parse_program(HONEST)
+    binding = StaticBinding(
+        scheme,
+        {
+            "secret": "high", "result": "high",
+            "collected": "low",
+            "request": "low", "reply": "low",
+        },
+    )
+    report = certify(honest, binding)
+    print(f"CFM: {'CERTIFIED' if report.certified else 'REJECTED'} "
+          f"-- the secret reaches only high variables")
+
+    print("\n== the trojan service ==")
+    trojan = parse_program(TROJAN)
+    binding2 = binding.with_bindings({"covert": "low"})
+    report2 = certify(trojan, binding2)
+    print(f"CFM: {'CERTIFIED' if report2.certified else 'REJECTED'}")
+    for violation in report2.violations[:2]:
+        print("  ", violation)
+
+    inferred = infer_binding(parse_program(TROJAN), scheme, {"secret": "high"})
+    print(f"\nleast binding with secret=high forces collected="
+          f"{inferred.inferred['collected']!r} -- confinement is impossible "
+          f"with this service unless the collector is cleared.")
+
+    print("\n== and the channel is real (exhaustive check) ==")
+    for secret in (2, 3):
+        res = explore(parse_program(TROJAN), store={"secret": secret},
+                      max_states=50_000)
+        values = sorted(
+            {dict(o.store).get("collected") for o in res.outcomes}
+        )
+        status = sorted({o.status for o in res.outcomes})
+        print(f"  secret={secret} ({'odd' if secret % 2 else 'even'}): "
+              f"collected in {values}, statuses {status}")
+
+
+if __name__ == "__main__":
+    main()

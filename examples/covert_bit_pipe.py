@@ -1,0 +1,55 @@
+"""A covert byte pipe built only from semaphores.
+
+The paper's closing remark on Figure 3: "by placing each process in a
+loop and testing a different bit of x on each iteration an arbitrary
+amount of information could be transmitted."  This script transmits a
+whole ASCII message, one character per program run, purely through the
+*order* of wait/signal operations — and shows that CFM statically
+priced the channel correctly (sbind(x) <= sbind(y) is forced).
+
+Run: python examples/covert_bit_pipe.py [message]
+"""
+
+import sys
+
+from repro import two_level
+from repro.core.inference import infer_binding
+from repro.runtime.executor import run
+from repro.runtime.scheduler import RandomScheduler
+from repro.workloads.paper import figure3_looped
+
+
+def transmit_byte(value: int, seed: int) -> int:
+    """Send one byte through the looped Figure 3 pipe."""
+    result = run(
+        figure3_looped(bits=8),
+        scheduler=RandomScheduler(seed),  # any schedule works
+        store={"x": value},
+        max_steps=100_000,
+    )
+    assert result.completed, result.status
+    return result.store["y"]
+
+
+def main() -> None:
+    message = sys.argv[1] if len(sys.argv) > 1 else "SOSP79"
+    print(f"transmitting {message!r} through semaphore ordering...")
+    received = []
+    for i, char in enumerate(message):
+        byte = transmit_byte(ord(char), seed=i)
+        received.append(chr(byte))
+        print(f"  sent {ord(char):3d} ({char!r}) -> received {byte:3d} ({chr(byte)!r})")
+    print(f"received: {''.join(received)!r}")
+    assert "".join(received) == message
+
+    print("\nand statically, CFM knew: the least binding for x=high makes")
+    scheme = two_level()
+    result = infer_binding(figure3_looped(bits=8), scheme, {"x": "high"})
+    print(f"  sbind(y) = {result.inferred['y']!r}  "
+          f"(so x=high with y=low is rejected)")
+    unsat = infer_binding(figure3_looped(bits=8), scheme, {"x": "high", "y": "low"})
+    print(f"  x=high, y=low satisfiable: {unsat.satisfiable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Flow proofs: Theorem 1's generator and the section 5.2 gap.
+
+Part 1 - for a certified concurrent program, build the completely
+invariant flow proof Theorem 1 promises, verify it with the independent
+checker, and render it.
+
+Part 2 - the paper's section 5.2 example: ``begin x := 0; y := x end``
+with x=high, y=low is *safe* (the value copied is the constant 0) and
+the flow logic proves it, but CFM rejects it — the logic is strictly
+stronger than the mechanism.
+
+Run: python examples/flow_proofs.py
+"""
+
+from repro import StaticBinding, parse_statement, two_level
+from repro.core.cfm import certify
+from repro.lattice.extended import ExtendedLattice
+from repro.logic.assertions import Bound, FlowAssertion, vlg_assertion
+from repro.logic.checker import action_substitution, check_proof
+from repro.logic.classexpr import const_expr, var_class
+from repro.logic.extract import is_completely_invariant
+from repro.logic.generator import generate_proof
+from repro.logic.proof import ProofNode
+from repro.logic.render import render_proof
+
+SCHEME = two_level()
+EXT = ExtendedLattice(SCHEME)
+
+
+def part1_theorem1() -> None:
+    print("== Part 1: Theorem 1 on a certified concurrent program ==")
+    stmt = parse_statement(
+        """
+        begin
+          x := secret;
+          cobegin
+            begin signal(ready); log := 1 end
+          ||
+            begin wait(ready); sink := x end
+          coend
+        end
+        """
+    )
+    binding = StaticBinding(
+        SCHEME,
+        {"secret": "high", "x": "high", "sink": "high",
+         "ready": "low", "log": "low"},
+    )
+    report = certify(stmt, binding)
+    print(f"cert(S) = {report.certified}")
+    proof = generate_proof(stmt, binding, report=report)
+    checked = check_proof(proof, SCHEME)
+    print(f"generated {proof.size()} rule applications; "
+          f"independent check: {'VALID' if checked.ok else 'INVALID'}")
+    print(f"completely invariant (Definition 7): "
+          f"{is_completely_invariant(proof, binding)}")
+    print()
+    print(render_proof(proof))
+
+
+def part2_section52() -> None:
+    print("\n== Part 2: the section 5.2 gap ==")
+    stmt = parse_statement("begin x := 0; y := x end")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    report = certify(stmt, binding)
+    print(f"CFM verdict for x=high, y=low: "
+          f"{'CERTIFIED' if report.certified else 'REJECTED'}")
+
+    # The paper's hand proof: after x := 0, x's *current* class is low,
+    # so y := x moves only low information.
+    low = const_expr("low")
+
+    def state(x_bound):
+        v = FlowAssertion(
+            [Bound(var_class("x"), const_expr(x_bound)),
+             Bound(var_class("y"), low)]
+        )
+        return vlg_assertion(v, low, low)
+
+    a1, a2, a3 = state("high"), state("low"), state("low")
+    first, second = stmt.body
+    ax1 = ProofNode(
+        "assignment", first,
+        a2.substitute(action_substitution(first, SCHEME), EXT), a2,
+    )
+    ax2 = ProofNode(
+        "assignment", second,
+        a3.substitute(action_substitution(second, SCHEME), EXT), a3,
+    )
+    proof = ProofNode(
+        "composition", stmt, a1, a3,
+        [ProofNode("consequence", first, a1, a2, [ax1]),
+         ProofNode("consequence", second, a2, a3, [ax2])],
+    )
+    checked = check_proof(proof, SCHEME)
+    print(f"hand flow proof of the policy: "
+          f"{'VALID' if checked.ok else 'INVALID'}")
+    print(f"completely invariant: {is_completely_invariant(proof, binding)} "
+          f"(it strengthens the policy mid-proof, which is exactly\n"
+          f"  what CFM cannot do -- Theorem 2's boundary)")
+    print()
+    print(render_proof(proof))
+
+
+if __name__ == "__main__":
+    part1_theorem1()
+    part2_section52()

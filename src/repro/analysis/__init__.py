@@ -1,0 +1,53 @@
+"""Analysis utilities layered on the core mechanisms.
+
+* :mod:`repro.analysis.metrics` — program shape statistics;
+* :mod:`repro.analysis.flowgraph` — the variable-to-variable flow
+  relation CFM enforces, derived from the constraint graph;
+* :mod:`repro.analysis.leaks` — concrete leak witnesses: given a
+  program and a *rejected* binding, search for an execution (schedule +
+  high inputs) that demonstrates the flow CFM complained about;
+* :mod:`repro.analysis.report` — combined human-readable reports.
+"""
+
+from repro.analysis.metrics import ProgramMetrics, measure
+from repro.analysis.flowgraph import FlowGraph, flow_graph
+from repro.analysis.leaks import LeakWitness, find_leak
+from repro.analysis.atomicity import (
+    AtomicityReport,
+    AtomicityViolation,
+    check_atomicity,
+    shared_variables,
+)
+from repro.analysis.deadlock import DeadlockReport, DeadlockWitness, find_deadlock
+from repro.analysis.report import full_report
+from repro.analysis.timeline import context_switches, lane_summary, render_timeline
+from repro.analysis.tables import (
+    certification_table,
+    denning_report_to_dict,
+    fs_report_to_dict,
+    report_to_dict,
+)
+
+__all__ = [
+    "check_atomicity",
+    "shared_variables",
+    "AtomicityReport",
+    "AtomicityViolation",
+    "find_deadlock",
+    "DeadlockReport",
+    "DeadlockWitness",
+    "render_timeline",
+    "lane_summary",
+    "context_switches",
+    "certification_table",
+    "report_to_dict",
+    "denning_report_to_dict",
+    "fs_report_to_dict",
+    "ProgramMetrics",
+    "measure",
+    "FlowGraph",
+    "flow_graph",
+    "LeakWitness",
+    "find_leak",
+    "full_report",
+]

@@ -1,0 +1,51 @@
+"""Combined human-readable reports (also backing the CLI)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.analysis.flowgraph import flow_graph
+from repro.analysis.metrics import measure
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.lang.ast import Program, Stmt
+from repro.lang.pretty import pretty
+
+
+def full_report(
+    subject: Union[Program, Stmt],
+    binding: StaticBinding,
+    include_source: bool = False,
+    include_flows: bool = True,
+    denning_mode: Optional[str] = "ignore",
+) -> str:
+    """One text report: metrics, CFM result, optional Denning baseline,
+    and the variable flow relation."""
+    lines = []
+    metrics = measure(subject)
+    lines.append(f"program: {metrics}")
+    if include_source:
+        lines.append("source:")
+        for src_line in pretty(subject).splitlines():
+            lines.append("    " + src_line)
+    lines.append("")
+    report = certify(subject, binding)
+    lines.append(report.summary())
+    if denning_mode is not None:
+        lines.append("")
+        baseline = certify_denning(subject, binding, on_concurrency=denning_mode)
+        lines.append(baseline.summary())
+        if baseline.certified and not report.certified:
+            lines.append(
+                "  note: the sequential mechanism misses the global flows "
+                "CFM rejected above (the paper's motivating gap)."
+            )
+    if include_flows:
+        lines.append("")
+        graph = flow_graph(subject, binding.scheme)
+        lines.append(f"flow relation ({len(graph.edges)} direct edges):")
+        for a, b in graph.direct_edges():
+            rules = ",".join(sorted(graph.why(a, b)))
+            lines.append(f"    {a} -> {b}   [{rules}]")
+    return "\n".join(lines)

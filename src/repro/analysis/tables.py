@@ -1,0 +1,137 @@
+"""Figure 2-style certification tables and JSON report serialization.
+
+:func:`certification_table` renders a CFM run the way the paper's
+Figure 2 presents the mechanism: one row per statement with its
+``mod(S)``, ``flow(S)``, and the evaluated side conditions.
+:func:`report_to_dict` (and the sibling converters) turn reports into
+plain JSON-serializable dictionaries for tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.cfm import CertificationReport
+from repro.core.denning import DenningReport
+from repro.lang.ast import Stmt, iter_statements
+from repro.lang.pretty import pretty
+from repro.lattice.extended import NIL
+
+
+def _one_line(stmt: Stmt, limit: int = 44) -> str:
+    text = " ".join(pretty(stmt).split())
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def certification_table(report: CertificationReport) -> str:
+    """One row per statement: statement, mod, flow, checks (pass/fail)."""
+    from repro.lang.ast import Program
+
+    subject = report.subject
+    stmt = subject.body if isinstance(subject, Program) else subject
+    by_stmt: Dict[int, List] = {}
+    for check in report.checks:
+        by_stmt.setdefault(check.stmt.uid, []).append(check)
+
+    rows = []
+    for node in iter_statements(stmt):
+        mod = report.analysis.mod(node)
+        flow = report.analysis.flow(node)
+        checks = by_stmt.get(node.uid, [])
+        if checks:
+            verdicts = "; ".join(
+                ("ok" if c.passed else "FAIL") + f" {c.condition}" for c in checks
+            )
+        else:
+            verdicts = "(no condition)"
+        rows.append((_one_line(node), repr(mod), repr(flow), verdicts))
+
+    headers = ("statement", "mod(S)", "flow(S)", "conditions")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _class_repr(cls: Any) -> Any:
+    """JSON-friendly class value (frozensets/tuples become lists/strings)."""
+    if cls is NIL:
+        return None
+    if isinstance(cls, frozenset):
+        return sorted(map(str, cls))
+    if isinstance(cls, tuple):
+        return [_class_repr(c) for c in cls]
+    return cls
+
+
+def report_to_dict(report: CertificationReport) -> Dict[str, Any]:
+    """A JSON-serializable view of a CFM report."""
+    return {
+        "mechanism": "cfm",
+        "certified": report.certified,
+        "scheme": report.binding.scheme.name,
+        "checks": [
+            {
+                "rule": c.rule,
+                "condition": c.condition,
+                "passed": c.passed,
+                "lhs": _class_repr(c.lhs),
+                "rhs": _class_repr(c.rhs),
+                "line": c.stmt.loc.line or None,
+                "column": c.stmt.loc.column or None,
+            }
+            for c in report.checks
+        ],
+    }
+
+
+def denning_report_to_dict(report: DenningReport) -> Dict[str, Any]:
+    """A JSON-serializable view of a Denning baseline report."""
+    return {
+        "mechanism": "denning",
+        "certified": report.certified,
+        "unsupported": [
+            {
+                "construct": type(s).__name__,
+                "line": s.loc.line or None,
+            }
+            for s in report.unsupported
+        ],
+        "checks": [
+            {
+                "rule": c.rule,
+                "condition": c.condition,
+                "passed": c.passed,
+                "lhs": _class_repr(c.lhs),
+                "rhs": _class_repr(c.rhs),
+                "line": c.stmt.loc.line or None,
+            }
+            for c in report.checks
+        ],
+    }
+
+
+def fs_report_to_dict(report) -> Dict[str, Any]:
+    """A JSON-serializable view of a flow-sensitive report."""
+    return {
+        "mechanism": "flow-sensitive",
+        "certified": report.certified,
+        "final_state": {
+            name: _class_repr(cls)
+            for name, cls in report.final_state.classes.items()
+        },
+        "violations": [
+            {
+                "variable": v.variable,
+                "class": _class_repr(v.cls),
+                "bound": _class_repr(v.bound),
+                "line": v.stmt.loc.line or None,
+            }
+            for v in report.violations
+        ],
+    }

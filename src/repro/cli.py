@@ -1,0 +1,446 @@
+"""Command-line interface: ``repro-ifc`` (or ``python -m repro``).
+
+Subcommands::
+
+    certify  PROGRAM --bind x=high --bind y=low [--scheme two-level]
+    denning  PROGRAM --bind ...  [--on-concurrency reject|ignore]
+    infer    PROGRAM --bind x=high            # pin some, infer the rest
+    prove    PROGRAM --bind ...               # Theorem 1 proof + check
+    run      PROGRAM [--set x=3] [--seed 7] [--trace]
+    explore  PROGRAM [--set x=3]
+    report   PROGRAM --bind ...
+
+``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
+scheme's class names (``low``/``high`` for the default two-level
+scheme; ``unclassified``..``topsecret`` for ``four-level``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.report import full_report
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.core.inference import infer_binding
+from repro.errors import ReproError
+from repro.lang.ast import Program, used_variables
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.finite import diamond
+from repro.logic.checker import check_proof
+from repro.logic.extract import is_completely_invariant
+from repro.logic.generator import generate_proof
+from repro.logic.render import render_proof
+from repro.runtime.executor import run as run_program
+from repro.runtime.explorer import explore
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+
+_SCHEMES = {
+    "two-level": two_level,
+    "four-level": four_level,
+    "diamond": diamond,
+}
+
+
+def _load_program(path: str) -> Program:
+    if path == "-":
+        source = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    program = parse_program(source)
+    problems = validate_program(program)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        raise SystemExit(2)
+    return program
+
+
+def _parse_pairs(pairs: List[str], what: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"error: {what} {pair!r} is not of the form name=value")
+        name, _, value = pair.partition("=")
+        out[name.strip()] = value.strip()
+    return out
+
+
+def _scheme(args):
+    """Resolve the classification scheme from --scheme / --scheme-file."""
+    if getattr(args, "scheme_file", None):
+        from repro.lattice.parse import load_scheme
+
+        return load_scheme(args.scheme_file)
+    return _SCHEMES[args.scheme]()
+
+
+def _parse_class(text: str, scheme) -> object:
+    """Resolve a class name for the chosen scheme (names are the labels)."""
+    for element in scheme.elements:
+        if str(element) == text:
+            return element
+    raise SystemExit(
+        f"error: {text!r} is not a class of {scheme.name}; "
+        f"choices: {sorted(map(str, scheme.elements))}"
+    )
+
+
+def _binding(args, program: Program) -> StaticBinding:
+    scheme = _scheme(args)
+    classes: Dict[str, str] = {}
+    if getattr(args, "bindings", None):
+        import json
+
+        with open(args.bindings, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise SystemExit("error: the bindings file must hold a JSON object")
+        classes.update({str(k): str(v) for k, v in data.items()})
+    classes.update(_parse_pairs(args.bind, "--bind"))
+    default = getattr(args, "default", None)
+    binding = StaticBinding(scheme, classes, default=default)
+    missing = sorted(used_variables(program.body) - set(classes))
+    if missing and default is None:
+        raise SystemExit(
+            "error: no binding for: " + ", ".join(missing) + " (use --bind or --default)"
+        )
+    return binding
+
+
+def _add_common(sub: argparse.ArgumentParser, bind: bool = True) -> None:
+    sub.add_argument("program", help="program source file, or - for stdin")
+    sub.add_argument(
+        "--scheme",
+        choices=sorted(_SCHEMES),
+        default="two-level",
+        help="classification scheme (default: two-level)",
+    )
+    sub.add_argument(
+        "--scheme-file",
+        metavar="FILE",
+        help="custom scheme spec (chain: a < b < c, or elements:/order:); "
+        "overrides --scheme",
+    )
+    if bind:
+        sub.add_argument(
+            "--bind",
+            action="append",
+            metavar="VAR=CLASS",
+            help="static binding entry (repeatable)",
+        )
+        sub.add_argument(
+            "--bindings",
+            metavar="FILE",
+            help="JSON file of {variable: class}; --bind entries override it",
+        )
+        sub.add_argument(
+            "--default",
+            metavar="CLASS",
+            help="class for variables without an explicit --bind",
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ifc",
+        description="Information-flow certification for parallel programs "
+        "(Reitman, SOSP 1979).",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    sub = subs.add_parser("certify", help="run the Concurrent Flow Mechanism")
+    _add_common(sub)
+    sub.add_argument("--quiet", action="store_true", help="status line only")
+    sub.add_argument(
+        "--table",
+        action="store_true",
+        help="print the per-statement mod/flow/conditions table (Figure 2 style)",
+    )
+    sub.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sub = subs.add_parser("denning", help="run the sequential Denning-Denning baseline")
+    _add_common(sub)
+    sub.add_argument(
+        "--on-concurrency",
+        choices=("reject", "ignore"),
+        default="reject",
+        help="how to treat cobegin/wait/signal (default: reject)",
+    )
+
+    sub = subs.add_parser(
+        "fs-certify",
+        help="run the flow-sensitive certifier (strictly stronger than CFM)",
+    )
+    _add_common(sub)
+
+    sub = subs.add_parser("infer", help="infer the least binding completion")
+    _add_common(sub)
+
+    sub = subs.add_parser("flow", help="print the variable flow relation")
+    _add_common(sub, bind=False)
+
+    sub = subs.add_parser(
+        "ni", help="exhaustive possibilistic noninterference check"
+    )
+    _add_common(sub)
+    sub.add_argument("--observer", required=True, help="observer class")
+    sub.add_argument(
+        "--vary",
+        action="append",
+        required=True,
+        metavar="VAR=V1,V2,...",
+        help="high variable and the values to vary it over",
+    )
+
+    sub = subs.add_parser("leak", help="search for a concrete leak witness")
+    _add_common(sub)
+    sub.add_argument("--observer", required=True, help="observer class")
+    sub.add_argument("--values", default="0,1,2", help="candidate values (csv)")
+
+    sub = subs.add_parser("prove", help="generate and check a Theorem 1 flow proof")
+    _add_common(sub)
+    sub.add_argument("--render", action="store_true", help="print the full proof tree")
+    sub.add_argument(
+        "--save-cert",
+        metavar="FILE",
+        help="write the proof as a JSON certificate (re-check with check-cert)",
+    )
+
+    sub = subs.add_parser(
+        "check-cert",
+        help="re-check a proof certificate against a program",
+    )
+    _add_common(sub, bind=False)
+    sub.add_argument("certificate", help="JSON certificate from prove --save-cert")
+
+    sub = subs.add_parser("run", help="execute the program")
+    _add_common(sub, bind=False)
+    sub.add_argument("--set", action="append", metavar="VAR=INT", help="initial value")
+    sub.add_argument("--seed", type=int, help="random scheduler seed (default: round-robin)")
+    sub.add_argument("--max-steps", type=int, default=100_000)
+    sub.add_argument("--trace", action="store_true", help="print every atomic action")
+    sub.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render the trace as per-process lanes",
+    )
+
+    sub = subs.add_parser("explore", help="exhaustively explore all interleavings")
+    _add_common(sub, bind=False)
+    sub.add_argument("--set", action="append", metavar="VAR=INT")
+    sub.add_argument("--max-states", type=int, default=200_000)
+    sub.add_argument("--max-depth", type=int, default=2_000)
+
+    sub = subs.add_parser("report", help="full report: CFM, baseline, flow relation")
+    _add_common(sub)
+    sub.add_argument("--source", action="store_true", help="include the pretty-printed source")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into e.g. head; not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(args) -> int:
+    program = _load_program(args.program)
+
+    if args.command == "certify":
+        report = certify(program, _binding(args, program))
+        if args.json:
+            import json
+
+            from repro.analysis.tables import report_to_dict
+
+            print(json.dumps(report_to_dict(report), indent=2))
+        elif args.table:
+            from repro.analysis.tables import certification_table
+
+            print(certification_table(report))
+            print()
+            print("CERTIFIED" if report.certified else "REJECTED")
+        elif args.quiet:
+            print("CERTIFIED" if report.certified else "REJECTED")
+        else:
+            print(report.summary())
+        return 0 if report.certified else 1
+
+    if args.command == "denning":
+        report = certify_denning(
+            program, _binding(args, program), on_concurrency=args.on_concurrency
+        )
+        print(report.summary())
+        return 0 if report.certified else 1
+
+    if args.command == "fs-certify":
+        from repro.core.flowsensitive import certify_flow_sensitive
+
+        report = certify_flow_sensitive(program, _binding(args, program))
+        print(report.summary())
+        return 0 if report.certified else 1
+
+    if args.command == "flow":
+        from repro.analysis.flowgraph import flow_graph
+
+        scheme = _scheme(args)
+        graph = flow_graph(program, scheme)
+        print(f"{len(graph.edges)} direct flow edges:")
+        for a, bvar in graph.direct_edges():
+            rules = ",".join(sorted(graph.why(a, bvar)))
+            print(f"  {a} -> {bvar}   [{rules}]")
+        return 0
+
+    if args.command == "ni":
+        from repro.runtime.noninterference import check_noninterference
+
+        binding = _binding(args, program)
+        scheme = binding.scheme
+        observer = _parse_class(args.observer, scheme)
+        variations = []
+        for spec in args.vary:
+            name, _, values = spec.partition("=")
+            for value in values.split(","):
+                variations.append({name.strip(): int(value)})
+        result = check_noninterference(program, binding, observer, variations)
+        print(f"noninterference holds: {result.holds} (complete={result.complete})")
+        if not result.holds:
+            i, j, outcome = result.witness()
+            print(f"  witness: variation {i} can reach {outcome}, variation {j} cannot")
+        return 0 if result.holds else 1
+
+    if args.command == "leak":
+        from repro.analysis.leaks import find_leak
+
+        binding = _binding(args, program)
+        observer = _parse_class(args.observer, binding.scheme)
+        values = tuple(int(v) for v in args.values.split(","))
+        witness = find_leak(program, binding, observer, values=values)
+        if witness is None:
+            print("no leak witness found")
+            return 0
+        print(str(witness))
+        return 1
+
+    if args.command == "infer":
+        scheme = _scheme(args)
+        fixed = {}
+        if getattr(args, "bindings", None):
+            import json
+
+            with open(args.bindings, "r", encoding="utf-8") as handle:
+                fixed.update(json.load(handle))
+        fixed.update(_parse_pairs(args.bind, "--bind"))
+        result = infer_binding(program, scheme, fixed)
+        print(result.explain())
+        return 0 if result.satisfiable else 1
+
+    if args.command == "prove":
+        from repro.lang.procs import resolve_subject
+
+        binding = _binding(args, program)
+        program, _ = resolve_subject(program)  # certificates index the expansion
+        proof = generate_proof(program, binding)
+        checked = check_proof(proof, binding.scheme)
+        print(f"generated proof with {proof.size()} rule applications")
+        print(f"independent check: {'VALID' if checked.ok else 'INVALID'}")
+        for problem in checked.problems:
+            print(f"  {problem}")
+        print(f"completely invariant: {is_completely_invariant(proof, binding)}")
+        if args.save_cert:
+            import json
+
+            from repro.logic.serialize import dump_proof
+
+            with open(args.save_cert, "w", encoding="utf-8") as handle:
+                json.dump(dump_proof(proof, program), handle, indent=2)
+            print(f"certificate written to {args.save_cert}")
+        if args.render:
+            print(render_proof(proof))
+        return 0 if checked.ok else 1
+
+    if args.command == "check-cert":
+        import json
+
+        from repro.lang.procs import resolve_subject
+        from repro.logic.serialize import load_proof
+
+        program, _ = resolve_subject(program)
+        scheme = _scheme(args)
+        with open(args.certificate, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        proof = load_proof(data, program, scheme)
+        checked = check_proof(proof, scheme)
+        print(
+            f"certificate: {proof.size()} rule applications; "
+            f"{'VALID' if checked.ok else 'INVALID'}"
+        )
+        for problem in checked.problems[:10]:
+            print(f"  {problem}")
+        return 0 if checked.ok else 1
+
+    if args.command == "run":
+        store = {k: int(v) for k, v in _parse_pairs(args.set, "--set").items()}
+        scheduler = RandomScheduler(args.seed) if args.seed is not None else RoundRobinScheduler()
+        result = run_program(
+            program,
+            scheduler=scheduler,
+            store=store,
+            max_steps=args.max_steps,
+            collect_trace=args.trace or args.timeline,
+        )
+        if args.timeline and result.trace:
+            from repro.analysis.timeline import render_timeline
+
+            print(render_timeline(result.trace))
+        elif args.trace and result.trace:
+            for event in result.trace:
+                print(event)
+        print(f"status: {result.status} after {result.steps} steps")
+        for name in sorted(result.store):
+            print(f"  {name} = {result.store[name]}")
+        return 0 if result.completed else 1
+
+    if args.command == "explore":
+        store = {k: int(v) for k, v in _parse_pairs(args.set, "--set").items()}
+        result = explore(
+            program, store=store, max_states=args.max_states, max_depth=args.max_depth
+        )
+        print(
+            f"{result.states_visited} states, {result.transitions} transitions, "
+            f"complete={result.complete}"
+        )
+        for outcome in sorted(result.outcomes, key=str):
+            print(f"  {outcome}")
+        return 0 if result.deadlock_free else 1
+
+    if args.command == "report":
+        print(full_report(program, _binding(args, program), include_source=args.source))
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

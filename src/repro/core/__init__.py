@@ -1,0 +1,45 @@
+"""The paper's certification mechanisms.
+
+* :mod:`repro.core.binding` — static bindings (Definition 3).
+* :mod:`repro.core.policy` — information states and policy assertions
+  at the semantic level (Definitions 2 and 6).
+* :mod:`repro.core.cfm` — the Concurrent Flow Mechanism (Figure 2),
+  the paper's primary contribution.
+* :mod:`repro.core.denning` — the Denning & Denning baseline [3].
+* :mod:`repro.core.constraints` — every CFM check as an edge in a
+  lattice constraint graph.
+* :mod:`repro.core.inference` — least-binding inference over that graph.
+"""
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import CertificationReport, CFMAnalysis, Check, certify
+from repro.core.constraints import ConstraintGraph, build_constraint_graph
+from repro.core.denning import DenningReport, certify_denning
+from repro.core.flowsensitive import (
+    FSReport,
+    FSState,
+    analyze,
+    certify_flow_sensitive,
+)
+from repro.core.inference import InferenceResult, infer_binding
+from repro.core.policy import InformationState, PolicySpec
+
+__all__ = [
+    "StaticBinding",
+    "certify",
+    "CertificationReport",
+    "CFMAnalysis",
+    "Check",
+    "certify_denning",
+    "DenningReport",
+    "certify_flow_sensitive",
+    "analyze",
+    "FSReport",
+    "FSState",
+    "ConstraintGraph",
+    "build_constraint_graph",
+    "infer_binding",
+    "InferenceResult",
+    "InformationState",
+    "PolicySpec",
+]

@@ -1,0 +1,155 @@
+"""Static bindings (paper Definition 3).
+
+A static binding maps every program variable to a fixed security class;
+constants are bound to ``low`` (the scheme bottom) and an expression
+``e1 op e2`` to ``sbind(e1) (+) sbind(e2)``.  The Dennings' mechanism
+and CFM both certify programs *against* a static binding: no certified
+program can move information from a higher binding to a lower one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.errors import BindingError
+from repro.lang.ast import (
+    BinOp,
+    BoolLit,
+    Expr,
+    IntLit,
+    Node,
+    UnOp,
+    Var,
+)
+from repro.lang.ast import used_variables
+from repro.lattice.base import Element, Lattice
+from repro.lattice.extended import ExtendedLattice
+
+
+class StaticBinding:
+    """An immutable mapping from variable names to security classes.
+
+    ``scheme`` is the *base* classification scheme ``(C', <=')``; the
+    binding also exposes :attr:`extended`, the paper's Definition 4
+    extension with ``nil``, which CFM's ``flow`` computation needs.
+
+    ``default`` (optional) is the class assigned to variables absent
+    from the mapping; when omitted, looking up an unbound variable is a
+    :class:`~repro.errors.BindingError` so that incomplete bindings
+    cannot silently certify programs.
+    """
+
+    def __init__(
+        self,
+        scheme: Lattice,
+        bindings: Mapping[str, Element],
+        default: Optional[Element] = None,
+    ):
+        self._scheme = scheme
+        self._extended = ExtendedLattice(scheme)
+        checked: Dict[str, Element] = {}
+        for name, cls in bindings.items():
+            if not isinstance(name, str) or not name:
+                raise BindingError(f"variable name must be a non-empty string, got {name!r}")
+            checked[name] = scheme.check(cls)
+        self._bindings = checked
+        self._default = scheme.check(default) if default is not None else None
+
+    # -- accessors -------------------------------------------------------
+
+    @property
+    def scheme(self) -> Lattice:
+        """The base classification scheme."""
+        return self._scheme
+
+    @property
+    def extended(self) -> ExtendedLattice:
+        """The scheme extended with ``nil`` (Definition 4)."""
+        return self._extended
+
+    @property
+    def variables(self) -> frozenset:
+        """Names explicitly bound."""
+        return frozenset(self._bindings)
+
+    def as_dict(self) -> Dict[str, Element]:
+        """A copy of the explicit variable bindings."""
+        return dict(self._bindings)
+
+    def of_var(self, name: str) -> Element:
+        """``sbind(v)`` for a variable; raises if unbound and no default."""
+        if name in self._bindings:
+            return self._bindings[name]
+        if self._default is not None:
+            return self._default
+        raise BindingError(f"variable {name!r} has no static binding")
+
+    def of_expr(self, expr: Expr) -> Element:
+        """``sbind(e)``: constants are ``low``; operators join their operands."""
+        if isinstance(expr, Var):
+            return self.of_var(expr.name)
+        if isinstance(expr, (IntLit, BoolLit)):
+            return self._scheme.bottom
+        if isinstance(expr, UnOp):
+            return self.of_expr(expr.operand)
+        if isinstance(expr, BinOp):
+            return self._scheme.join(self.of_expr(expr.left), self.of_expr(expr.right))
+        raise BindingError(f"not an expression: {expr!r}")
+
+    def leq(self, a: Element, b: Element) -> bool:
+        """Order test in the *extended* scheme (so ``nil`` participates)."""
+        return self._extended.leq(a, b)
+
+    # -- construction helpers ---------------------------------------------
+
+    def with_bindings(self, updates: Mapping[str, Element]) -> "StaticBinding":
+        """A new binding with ``updates`` applied over this one."""
+        merged = dict(self._bindings)
+        merged.update(updates)
+        return StaticBinding(self._scheme, merged, self._default)
+
+    def restricted_to(self, names: Iterable[str]) -> "StaticBinding":
+        """A new binding keeping only ``names``."""
+        keep = set(names)
+        return StaticBinding(
+            self._scheme,
+            {n: c for n, c in self._bindings.items() if n in keep},
+            self._default,
+        )
+
+    def covers(self, node: Node) -> bool:
+        """True if every variable used by ``node`` is bound (or defaulted)."""
+        if self._default is not None:
+            return True
+        return used_variables(node) <= self.variables
+
+    def require_covers(self, node: Node) -> None:
+        """Raise :class:`BindingError` naming any unbound variables."""
+        if self._default is not None:
+            return
+        missing = sorted(used_variables(node) - self.variables)
+        if missing:
+            raise BindingError(
+                "no static binding for variable(s): " + ", ".join(missing)
+            )
+
+    # -- dunders -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StaticBinding):
+            return NotImplemented
+        return (
+            self._scheme is other._scheme
+            and self._bindings == other._bindings
+            and self._default == other._default
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._scheme), frozenset(self._bindings.items()), self._default))
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{n}={c!r}" for n, c in sorted(self._bindings.items()))
+        return f"StaticBinding({self._scheme.name}: {items})"

@@ -1,0 +1,449 @@
+"""A flow-sensitive certifier — the practical mechanism the flow logic lacked.
+
+The paper notes (section 1) that "no practical mechanism based on this
+theoretical method [the flow logic] has been developed to date", and
+shows (section 5.2) that CFM is strictly weaker than the logic: the
+safe program ``begin x := 0; y := x end`` is rejected under
+``x = high, y = low`` although a flow proof exists, because CFM cannot
+use the fact that after ``x := 0`` the *current* class of ``x`` is low.
+
+This module develops that practical mechanism.  It is an abstract
+interpretation of the flow logic itself: the analysis state is a
+concrete information state (Definition 2 — a mapping from variables to
+classes) plus the two certification contexts, and each statement
+transforms it exactly as the Figure 1 axioms prescribe:
+
+* ``x := e``        : ``class(x) := class(e) (+) local (+) global``
+* ``if e ...``      : both branches under ``local (+) class(e)``; join
+* ``while e do S``  : Kleene iteration to the least fixpoint (finite
+  lattice, monotone transformer — always terminates); ``global`` and
+  the state absorb the guard each round
+* ``wait(sem)``     : ``global (+)= class(sem) (+) local``; the
+  semaphore absorbs the context
+* ``signal(sem)``   : the semaphore absorbs the context
+* ``cobegin``       : rely-guarantee rounds with *per-read*
+  interference: every read of a shared variable observes, in addition
+  to the branch's own flow-sensitive class, the join of classes
+  sibling branches may write into it, because a sibling's write can
+  land between any two of the branch's actions; the per-branch write
+  logs feeding that relation are computed to a fixpoint.  (Widening
+  only the branch *entry* is unsound — a write-read pair inside one
+  branch can be split by a sibling's write; the property-based
+  simulation test in ``tests/integration/test_fs_simulates_monitor.py``
+  caught exactly that during development.)
+
+Certification then demands that *at every program point* each
+variable's computed class stays below its static binding — the policy
+assertion of Definition 6, checked continuously, exactly what a
+completely invariant proof promises (but here the intermediate states
+may be *stronger* than the policy, which is the extra power).
+
+Relationship to the other mechanisms (tested in the suite and measured
+in ``benchmarks/bench_flow_sensitive.py``):
+
+* strictly stronger than CFM: everything CFM certifies is certified
+  (the CFM invariant state dominates ours pointwise), and the section
+  5.2 family is certified too;
+* still sound: for certified programs the dynamic label monitor never
+  observes a class above its binding, and possibilistic
+  noninterference holds across schedules;
+* for sequential programs, :func:`proof_from_analysis` converts a
+  successful analysis into an explicit Figure 1 flow proof accepted by
+  the independent checker — mechanized proof *search* for the logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.binding import StaticBinding
+from repro.errors import CertificationError
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    Cobegin,
+    If,
+    Program,
+    Signal,
+    Skip,
+    Stmt,
+    Wait,
+    While,
+    expr_variables,
+)
+from repro.lattice.base import Element, Lattice
+
+
+class FSState:
+    """The analysis state: variable classes + the certification contexts.
+
+    Immutable-by-convention: transformers return new states.  ``local``
+    is the current indirect-flow context (the join of enclosing guards)
+    and ``global`` the accumulated sequencing flow.
+    """
+
+    __slots__ = ("scheme", "classes", "local", "global_")
+
+    def __init__(
+        self,
+        scheme: Lattice,
+        classes: Dict[str, Element],
+        local: Element,
+        global_: Element,
+    ):
+        self.scheme = scheme
+        self.classes = classes
+        self.local = local
+        self.global_ = global_
+
+    @staticmethod
+    def initial(scheme: Lattice, classes: Dict[str, Element]) -> "FSState":
+        return FSState(scheme, dict(classes), scheme.bottom, scheme.bottom)
+
+    # -- functional updates ------------------------------------------------
+
+    def with_class(self, name: str, cls: Element) -> "FSState":
+        updated = dict(self.classes)
+        updated[name] = cls
+        return FSState(self.scheme, updated, self.local, self.global_)
+
+    def with_local(self, local: Element) -> "FSState":
+        return FSState(self.scheme, self.classes, local, self.global_)
+
+    def with_global(self, global_: Element) -> "FSState":
+        return FSState(self.scheme, self.classes, self.local, global_)
+
+    # -- queries -----------------------------------------------------------
+
+    def cls(self, name: str) -> Element:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise CertificationError(f"variable {name!r} has no class") from None
+
+    def expr_cls(self, expr) -> Element:
+        """Definition 2 over *current* classes (constants are low)."""
+        return self.scheme.join_all(
+            [self.cls(v) for v in expr_variables(expr)]
+        )
+
+    def context(self) -> Element:
+        return self.scheme.join(self.local, self.global_)
+
+    # -- lattice structure on states ----------------------------------------
+
+    def join(self, other: "FSState") -> "FSState":
+        merged = {
+            name: self.scheme.join(self.classes[name], other.classes[name])
+            for name in self.classes
+        }
+        return FSState(
+            self.scheme,
+            merged,
+            self.scheme.join(self.local, other.local),
+            self.scheme.join(self.global_, other.global_),
+        )
+
+    def leq(self, other: "FSState") -> bool:
+        return (
+            all(
+                self.scheme.leq(self.classes[n], other.classes[n])
+                for n in self.classes
+            )
+            and self.scheme.leq(self.local, other.local)
+            and self.scheme.leq(self.global_, other.global_)
+        )
+
+    def key(self) -> Tuple:
+        return (
+            tuple(sorted(self.classes.items(), key=lambda kv: kv[0])),
+            self.local,
+            self.global_,
+        )
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{n}={c!r}" for n, c in sorted(self.classes.items()))
+        return f"FSState({items}; local={self.local!r}, global={self.global_!r})"
+
+
+@dataclass(frozen=True)
+class PointViolation:
+    """A policy breach at a specific program point."""
+
+    stmt: Stmt
+    variable: str
+    cls: Element
+    bound: Element
+
+    def __str__(self) -> str:
+        loc = f" at {self.stmt.loc}" if self.stmt.loc else ""
+        return (
+            f"{type(self.stmt).__name__}{loc}: class({self.variable}) = "
+            f"{self.cls!r} exceeds sbind({self.variable}) = {self.bound!r}"
+        )
+
+
+class FSReport:
+    """Result of the flow-sensitive certification."""
+
+    def __init__(
+        self,
+        subject,
+        binding: StaticBinding,
+        final_state: FSState,
+        violations: List[PointViolation],
+        pre_states: Dict[int, FSState],
+        post_states: Dict[int, FSState],
+    ):
+        self.subject = subject
+        self.binding = binding
+        self.final_state = final_state
+        self.violations = list(violations)
+        #: Analysis state immediately before each statement (by uid).
+        self.pre_states = pre_states
+        #: Analysis state immediately after each statement (by uid).
+        self.post_states = post_states
+
+    @property
+    def certified(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            "flow-sensitive certification: "
+            + ("CERTIFIED" if self.certified else "REJECTED"),
+            f"  final state: {self.final_state!r}",
+        ]
+        for violation in self.violations:
+            lines.append("  [FAIL] " + str(violation))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "certified" if self.certified else f"{len(self.violations)} violations"
+        return f"<FSReport {state}>"
+
+
+class _Analyzer:
+    def __init__(self, binding: StaticBinding):
+        self.binding = binding
+        self.scheme = binding.scheme
+        self.violations: List[PointViolation] = []
+        self.pre_states: Dict[int, FSState] = {}
+        self.post_states: Dict[int, FSState] = {}
+        #: Interference frames: while analyzing a cobegin branch, maps
+        #: each shared variable to the join of classes sibling branches
+        #: may write into it *at any moment*.
+        self._interference: List[Dict[str, Element]] = []
+        #: Write logs: one per enclosing cobegin round, recording the
+        #: join of classes this branch writes into each variable.
+        self._write_logs: List[Dict[str, Element]] = []
+
+    def _policy_check(self, stmt: Stmt, name: str, cls: Element) -> None:
+        bound = self.binding.of_var(name)
+        if not self.scheme.leq(cls, bound):
+            self.violations.append(PointViolation(stmt, name, cls, bound))
+
+    def _record_write(self, name: str, cls: Element) -> None:
+        for log in self._write_logs:
+            log[name] = self.scheme.join(log.get(name, self.scheme.bottom), cls)
+
+    def _interfered(self, name: str) -> Element:
+        """Join of classes siblings may write into ``name`` concurrently."""
+        cls = self.scheme.bottom
+        for frame in self._interference:
+            if name in frame:
+                cls = self.scheme.join(cls, frame[name])
+        return cls
+
+    def _read_var(self, state: FSState, name: str) -> Element:
+        """The class a read of ``name`` may observe: the branch's own
+        flow-sensitive class joined with any concurrent interference
+        (a sibling may write between this branch's last write and the
+        read)."""
+        return self.scheme.join(state.cls(name), self._interfered(name))
+
+    def _read_expr(self, state: FSState, expr) -> Element:
+        return self.scheme.join_all(
+            [self._read_var(state, v) for v in expr_variables(expr)]
+        )
+
+    def analyze(self, stmt: Stmt, state: FSState) -> FSState:
+        """Transform ``state`` through ``stmt``, recording policy checks."""
+        self.pre_states[stmt.uid] = state
+        out = self._dispatch(stmt, state)
+        self.post_states[stmt.uid] = out
+        return out
+
+    def _dispatch(self, stmt: Stmt, state: FSState) -> FSState:
+        scheme = self.scheme
+
+        if isinstance(stmt, Assign):
+            cls = scheme.join(self._read_expr(state, stmt.expr), state.context())
+            self._policy_check(stmt, stmt.target, cls)
+            self._record_write(stmt.target, cls)
+            return state.with_class(stmt.target, cls)
+
+        if isinstance(stmt, Skip):
+            return state
+
+        if isinstance(stmt, Signal):
+            cls = scheme.join(self._read_var(state, stmt.sem), state.context())
+            self._policy_check(stmt, stmt.sem, cls)
+            self._record_write(stmt.sem, cls)
+            return state.with_class(stmt.sem, cls)
+
+        if isinstance(stmt, Wait):
+            old_sem = self._read_var(state, stmt.sem)
+            new_global = scheme.join(
+                state.global_, scheme.join(old_sem, state.local)
+            )
+            new_sem = scheme.join(old_sem, state.context())
+            self._policy_check(stmt, stmt.sem, new_sem)
+            self._record_write(stmt.sem, new_sem)
+            return state.with_class(stmt.sem, new_sem).with_global(new_global)
+
+        if isinstance(stmt, If):
+            guard = self._read_expr(state, stmt.cond)
+            inner = state.with_local(scheme.join(state.local, guard))
+            out1 = self.analyze(stmt.then_branch, inner)
+            if stmt.else_branch is not None:
+                out2 = self.analyze(stmt.else_branch, inner)
+            else:
+                out2 = inner
+            return out1.join(out2).with_local(state.local)
+
+        if isinstance(stmt, While):
+            # Least fixpoint of the loop transformer; the guard joins
+            # into both local (for the body) and global (conditional
+            # termination), per the iteration rule of Figure 1.
+            current = state
+            while True:
+                guard = self._read_expr(current, stmt.cond)
+                widened = current.with_global(
+                    scheme.join(
+                        current.global_, scheme.join(guard, current.local)
+                    )
+                )
+                inner = widened.with_local(scheme.join(widened.local, guard))
+                body_out = self.analyze(stmt.body, inner)
+                next_state = widened.join(
+                    body_out.with_local(state.local)
+                ).with_local(state.local)
+                if next_state.leq(current) and current.leq(next_state):
+                    return next_state
+                current = next_state
+
+        if isinstance(stmt, Begin):
+            for child in stmt.body:
+                state = self.analyze(child, state)
+            return state
+
+        if isinstance(stmt, Cobegin):
+            return self._analyze_cobegin(stmt, state)
+
+        raise CertificationError(f"not a statement: {stmt!r}")
+
+    def _analyze_cobegin(self, stmt: Cobegin, state: FSState) -> FSState:
+        """Rely-guarantee rounds with per-read interference.
+
+        A sibling's write may land between *any* two actions of a
+        branch, so it is not enough to widen the branch's entry state:
+        every read of a shared variable must additionally observe the
+        join of the classes siblings can write into it
+        (:meth:`_read_var`).  The per-branch write logs that feed those
+        interference frames are themselves computed to a fixpoint:
+        round ``k+1`` analyzes each branch under the logs of round
+        ``k`` until the logs stabilize (monotone over a finite lattice,
+        so this terminates).  Certification contexts (``local`` /
+        ``global``) are per-process and never interfere — the paper's
+        own observation about the concurrency proof rule.
+        """
+        scheme = self.scheme
+        n = len(stmt.branches)
+        writes_prev: List[Dict[str, Element]] = [{} for _ in range(n)]
+        while True:
+            exits: List[FSState] = []
+            writes_new: List[Dict[str, Element]] = []
+            violations_before = len(self.violations)
+            for i, branch in enumerate(stmt.branches):
+                frame: Dict[str, Element] = {}
+                for j, log in enumerate(writes_prev):
+                    if i == j:
+                        continue
+                    for name, cls in log.items():
+                        frame[name] = scheme.join(
+                            frame.get(name, scheme.bottom), cls
+                        )
+                self._interference.append(frame)
+                self._write_logs.append({})
+                try:
+                    out = self.analyze(branch, state)
+                finally:
+                    self._interference.pop()
+                    writes_new.append(self._write_logs.pop())
+                exits.append(out)
+            if writes_new == writes_prev:
+                merged = exits[0]
+                for out in exits[1:]:
+                    merged = out.join(merged)
+                # Shared variables may end on a sibling's write even if
+                # this branch wrote last in its own order; the exit join
+                # over branches covers every last-writer choice.
+                return merged.with_local(state.local)
+            # Re-run under the new logs; drop this round's checks so
+            # violations are reported once, against the final states.
+            del self.violations[violations_before:]
+            writes_prev = writes_new
+
+
+def analyze(
+    subject: Union[Program, Stmt],
+    binding: StaticBinding,
+    initial: Optional[Dict[str, Element]] = None,
+) -> FSReport:
+    """Run the flow-sensitive analysis and certification.
+
+    ``initial`` gives the classes variables hold on entry (defaulting
+    to their static bindings — "each variable initially contains
+    information of its own class").  Certification requires every
+    variable to stay below its binding at every assignment/semaphore
+    point; rejection is reported, never raised.
+    """
+    from repro.core.constraints import complete_synthetic_binding
+    from repro.lang.procs import resolve_subject
+
+    subject, stmt = resolve_subject(subject)
+    if not isinstance(stmt, Stmt):
+        raise CertificationError(f"cannot analyze {subject!r}")
+    binding = complete_synthetic_binding(subject, binding)
+    binding.require_covers(stmt)
+    from repro.lang.ast import used_variables
+
+    names = used_variables(stmt)
+    classes = {name: binding.of_var(name) for name in names}
+    if initial:
+        for name, cls in initial.items():
+            classes[name] = binding.scheme.check(cls)
+    analyzer = _Analyzer(binding)
+    final = analyzer.analyze(stmt, FSState.initial(binding.scheme, classes))
+    # Fixpoint iteration (while/cobegin) can visit a point repeatedly;
+    # classes only grow, so keep the last (worst) violation per point.
+    deduped: Dict[Tuple[int, str], PointViolation] = {}
+    for violation in analyzer.violations:
+        deduped[(violation.stmt.uid, violation.variable)] = violation
+    return FSReport(
+        subject,
+        binding,
+        final,
+        list(deduped.values()),
+        analyzer.pre_states,
+        analyzer.post_states,
+    )
+
+
+def certify_flow_sensitive(
+    subject: Union[Program, Stmt], binding: StaticBinding
+) -> FSReport:
+    """Certify with the flow-sensitive mechanism (see module docstring)."""
+    return analyze(subject, binding)

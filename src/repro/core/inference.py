@@ -1,0 +1,104 @@
+"""Least-binding inference.
+
+Given a program and a *partial* static binding (e.g. "``x`` is high and
+``y`` is low; classify everything else for me"), compute the least
+restrictive completion under which CFM certifies the program — or a
+witness that no completion exists.
+
+The CFM conditions are monotone lattice inequalities (see
+:mod:`repro.core.constraints`), so the least completion is the least
+fixed point of the constraint graph with the given variables pinned,
+computed by worklist propagation.  If propagation would need to raise a
+pinned variable, the fixed bindings are unsatisfiable and the violated
+edges are returned as the explanation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.constraints import Edge, VarNode, build_constraint_graph
+from repro.errors import InferenceError
+from repro.lang.ast import Program, Stmt, used_variables
+from repro.lattice.base import Element, Lattice
+
+
+class InferenceResult:
+    """Outcome of :func:`infer_binding`.
+
+    ``satisfiable`` tells whether a completion exists; when it does,
+    ``binding`` is the least one and ``inferred`` maps each originally
+    free variable to its inferred class.  When it does not,
+    ``violations`` holds the constraint edges that force some pinned
+    variable above its fixed class.
+    """
+
+    def __init__(
+        self,
+        satisfiable: bool,
+        binding: Optional[StaticBinding],
+        inferred: Dict[str, Element],
+        violations: List[Edge],
+    ):
+        self.satisfiable = satisfiable
+        self.binding = binding
+        self.inferred = dict(inferred)
+        self.violations = list(violations)
+
+    def explain(self) -> str:
+        """A short human-readable account."""
+        if self.satisfiable:
+            items = ", ".join(f"{n}={c!r}" for n, c in sorted(self.inferred.items()))
+            return f"satisfiable; inferred: {items or '(nothing to infer)'}"
+        lines = ["unsatisfiable:"]
+        for e in self.violations:
+            lines.append(f"  required {e} but the target is pinned lower")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<InferenceResult {'sat' if self.satisfiable else 'unsat'}>"
+
+
+def infer_binding(
+    subject: Union[Program, Stmt],
+    scheme: Lattice,
+    fixed: Mapping[str, Element],
+) -> InferenceResult:
+    """Infer the least completion of ``fixed`` certifying ``subject``.
+
+    Free variables receive the *least* classes consistent with every
+    CFM check; a free variable that no information reaches gets the
+    scheme bottom (``low``).  The returned binding, when satisfiable,
+    always certifies: ``certify(subject, result.binding).certified``
+    holds (asserted here as a cheap internal sanity check).
+    """
+    from repro.lang.procs import resolve_subject
+
+    subject, stmt = resolve_subject(subject)
+    program_vars = used_variables(stmt)
+    unknown_fixed = set(fixed) - set(program_vars)
+    # Pinning variables the program never mentions is legal (they simply
+    # pass through to the output binding) but worth keeping, not erroring.
+    graph = build_constraint_graph(stmt, scheme)
+    valuation, violated = graph.least_solution(scheme, fixed)
+    if violated:
+        return InferenceResult(False, None, {}, violated)
+    classes: Dict[str, Element] = dict(fixed)
+    inferred: Dict[str, Element] = {}
+    for name in program_vars:
+        if name in fixed:
+            continue
+        cls = valuation.get(VarNode(name), scheme.bottom)
+        classes[name] = cls
+        inferred[name] = cls
+    binding = StaticBinding(scheme, classes)
+    report = certify(stmt, binding)
+    if not report.certified:  # pragma: no cover - internal consistency
+        raise InferenceError(
+            "internal error: least solution does not certify; violations: "
+            + "; ".join(str(v) for v in report.violations)
+        )
+    _ = unknown_fixed  # documented behaviour: harmless extras
+    return InferenceResult(True, binding, inferred, [])

@@ -1,0 +1,119 @@
+"""Information states and policies at the semantic level.
+
+Definition 2: an *information state* is a total mapping from program
+variables to security classes; it varies dynamically as the program
+executes.  Definition 6: the *policy assertion corresponding to a
+static binding* requires that no variable's current class ever exceeds
+its binding.  This module gives both notions a concrete runtime
+representation; the dynamic label monitor (:mod:`repro.runtime.taint`)
+produces :class:`InformationState` values, and tests compare them
+against :class:`PolicySpec` built from a binding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.binding import StaticBinding
+from repro.errors import BindingError
+from repro.lattice.base import Element, Lattice
+
+
+class InformationState:
+    """A snapshot mapping of variables to their *current* classes.
+
+    Mutable by design: the runtime label monitor updates it in place as
+    assignments and semaphore operations execute.
+    """
+
+    def __init__(self, scheme: Lattice, classes: Mapping[str, Element]):
+        self._scheme = scheme
+        self._classes: Dict[str, Element] = {
+            name: scheme.check(cls) for name, cls in classes.items()
+        }
+
+    @property
+    def scheme(self) -> Lattice:
+        return self._scheme
+
+    @property
+    def variables(self) -> frozenset:
+        return frozenset(self._classes)
+
+    def cls(self, name: str) -> Element:
+        """The current class of ``name`` (the paper's underlined ``v``)."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise BindingError(f"variable {name!r} has no class in this state") from None
+
+    def set_cls(self, name: str, cls: Element) -> None:
+        """Replace the class of ``name``."""
+        self._classes[name] = self._scheme.check(cls)
+
+    def raise_cls(self, name: str, cls: Element) -> None:
+        """Join ``cls`` into the class of ``name`` (never lowers)."""
+        self._classes[name] = self._scheme.join(self.cls(name), cls)
+
+    def copy(self) -> "InformationState":
+        return InformationState(self._scheme, self._classes)
+
+    def as_dict(self) -> Dict[str, Element]:
+        return dict(self._classes)
+
+    @staticmethod
+    def uniformly(scheme: Lattice, names: Iterable[str], cls: Element) -> "InformationState":
+        """A state giving every name in ``names`` the class ``cls``."""
+        return InformationState(scheme, {n: cls for n in names})
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{n}={c!r}" for n, c in sorted(self._classes.items()))
+        return f"InformationState({items})"
+
+
+class PolicySpec:
+    """An information policy: per-variable upper bounds on current classes.
+
+    The policy corresponding to a static binding (Definition 6) is the
+    conjunction of ``class(v) <= sbind(v)``; :meth:`from_binding` builds
+    exactly that.  ``check`` evaluates the policy against a concrete
+    information state and reports each violated conjunct.
+    """
+
+    def __init__(self, scheme: Lattice, bounds: Mapping[str, Element]):
+        self._scheme = scheme
+        self._bounds: Dict[str, Element] = {
+            name: scheme.check(cls) for name, cls in bounds.items()
+        }
+
+    @staticmethod
+    def from_binding(binding: StaticBinding) -> "PolicySpec":
+        """The policy assertion corresponding to ``binding`` (Definition 6)."""
+        return PolicySpec(binding.scheme, binding.as_dict())
+
+    @property
+    def scheme(self) -> Lattice:
+        return self._scheme
+
+    @property
+    def bounds(self) -> Dict[str, Element]:
+        return dict(self._bounds)
+
+    def check(self, state: InformationState) -> List[Tuple[str, Element, Element]]:
+        """Violated conjuncts as ``(variable, current, bound)`` triples."""
+        violations = []
+        for name, bound in self._bounds.items():
+            if name not in state.variables:
+                continue
+            current = state.cls(name)
+            if not self._scheme.leq(current, bound):
+                violations.append((name, current, bound))
+        return violations
+
+    def satisfied_by(self, state: InformationState) -> bool:
+        """True iff ``state`` meets every bound."""
+        return not self.check(state)
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{n}<={c!r}" for n, c in sorted(self._bounds.items()))
+        return f"PolicySpec({items})"

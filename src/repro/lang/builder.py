@@ -1,0 +1,191 @@
+"""Programmatic AST construction DSL.
+
+The parser is the main front door, but generators, tests, and users who
+build programs dynamically want a terse Python API::
+
+    from repro.lang import builder as b
+
+    prog = b.program(
+        [b.int_decl("x", "y"), b.sem_decl("s")],
+        b.begin(
+            b.if_(b.ne(b.var("x"), b.lit(0)), b.signal("s")),
+            b.wait("s"),
+            b.assign("y", b.lit(1)),
+        ),
+    )
+
+All constructors return ordinary AST nodes, so builder output and parser
+output are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    Expr,
+    If,
+    IntLit,
+    Program,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+)
+
+ExprLike = Union[Expr, int, bool, str]
+
+
+def _expr(x: ExprLike) -> Expr:
+    """Coerce Python values: str -> Var, bool -> BoolLit, int -> IntLit."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        return BoolLit(x)
+    if isinstance(x, int):
+        return IntLit(x)
+    if isinstance(x, str):
+        return Var(x)
+    raise TypeError(f"cannot use {x!r} as an expression")
+
+
+# -- expressions -------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """A variable reference."""
+    return Var(name)
+
+
+def lit(value: Union[int, bool]) -> Expr:
+    """An integer or boolean constant."""
+    return BoolLit(value) if isinstance(value, bool) else IntLit(value)
+
+
+def add(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("+", _expr(a), _expr(b))
+
+
+def sub(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("-", _expr(a), _expr(b))
+
+
+def mul(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("*", _expr(a), _expr(b))
+
+
+def div(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("/", _expr(a), _expr(b))
+
+
+def mod(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("mod", _expr(a), _expr(b))
+
+
+def neg(a: ExprLike) -> UnOp:
+    return UnOp("-", _expr(a))
+
+
+def eq(a: ExprLike, b: ExprLike) -> BinOp:
+    """``a = b``."""
+    return BinOp("=", _expr(a), _expr(b))
+
+
+def ne(a: ExprLike, b: ExprLike) -> BinOp:
+    """``a # b`` (the paper's inequality)."""
+    return BinOp("#", _expr(a), _expr(b))
+
+
+def lt(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("<", _expr(a), _expr(b))
+
+
+def le(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("<=", _expr(a), _expr(b))
+
+
+def gt(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp(">", _expr(a), _expr(b))
+
+
+def ge(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp(">=", _expr(a), _expr(b))
+
+
+def and_(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("and", _expr(a), _expr(b))
+
+
+def or_(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("or", _expr(a), _expr(b))
+
+
+def not_(a: ExprLike) -> UnOp:
+    return UnOp("not", _expr(a))
+
+
+# -- statements --------------------------------------------------------
+
+
+def assign(target: str, value: ExprLike) -> Assign:
+    """``target := value``."""
+    return Assign(target, _expr(value))
+
+
+def if_(cond: ExprLike, then_branch: Stmt, else_branch: Stmt = None) -> If:
+    """``if cond then S1 [else S2]``."""
+    return If(_expr(cond), then_branch, else_branch)
+
+
+def while_(cond: ExprLike, body: Stmt) -> While:
+    """``while cond do body``."""
+    return While(_expr(cond), body)
+
+
+def begin(*stmts: Stmt) -> Begin:
+    """``begin S1; ...; Sn end``."""
+    return Begin(list(stmts))
+
+
+def cobegin(*branches: Stmt) -> Cobegin:
+    """``cobegin S1 || ... || Sn coend``."""
+    return Cobegin(list(branches))
+
+
+def wait(sem: str) -> Wait:
+    return Wait(sem)
+
+
+def signal(sem: str) -> Signal:
+    return Signal(sem)
+
+
+def skip() -> Skip:
+    return Skip()
+
+
+# -- declarations and programs ------------------------------------------
+
+
+def int_decl(*names: str, initially: int = 0) -> VarDecl:
+    """Declare integer variables."""
+    return VarDecl(list(names), "integer", initially)
+
+
+def sem_decl(*names: str, initially: int = 0) -> VarDecl:
+    """Declare semaphores."""
+    return VarDecl(list(names), "semaphore", initially)
+
+
+def program(decls: Sequence[VarDecl], body: Stmt) -> Program:
+    """A complete program."""
+    return Program(list(decls), body)

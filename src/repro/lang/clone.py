@@ -1,0 +1,105 @@
+"""Deep-copying and variable renaming of AST subtrees.
+
+AST nodes have identity semantics (facts attach to program points), so
+reusing a subtree in two places would corrupt per-node tables; any
+duplication must be a deep copy with fresh uids.  Renaming maps
+variable names (reads, assignment targets, and semaphore operands)
+through a substitution — the workhorse of procedure expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, TypeVar, Union
+
+from repro.errors import LanguageError
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    Expr,
+    If,
+    IntLit,
+    Loc,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    Wait,
+    While,
+)
+
+NodeT = TypeVar("NodeT", bound=Union[Expr, Stmt])
+
+
+def clone_expr(expr: Expr, rename: Optional[Mapping[str, str]] = None) -> Expr:
+    """A fresh deep copy of ``expr``, applying the variable renaming."""
+    rename = rename or {}
+    if isinstance(expr, Var):
+        return Var(rename.get(expr.name, expr.name), _loc(expr))
+    if isinstance(expr, IntLit):
+        return IntLit(expr.value, _loc(expr))
+    if isinstance(expr, BoolLit):
+        return BoolLit(expr.value, _loc(expr))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, clone_expr(expr.operand, rename), _loc(expr))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            clone_expr(expr.left, rename),
+            clone_expr(expr.right, rename),
+            _loc(expr),
+        )
+    raise LanguageError(f"cannot clone expression {expr!r}")
+
+
+def clone_stmt(stmt: Stmt, rename: Optional[Mapping[str, str]] = None) -> Stmt:
+    """A fresh deep copy of ``stmt``, applying the variable renaming."""
+    rename = rename or {}
+    if isinstance(stmt, Assign):
+        return Assign(
+            rename.get(stmt.target, stmt.target),
+            clone_expr(stmt.expr, rename),
+            _loc(stmt),
+        )
+    if isinstance(stmt, Skip):
+        return Skip(_loc(stmt))
+    if isinstance(stmt, Wait):
+        return Wait(rename.get(stmt.sem, stmt.sem), _loc(stmt))
+    if isinstance(stmt, Signal):
+        return Signal(rename.get(stmt.sem, stmt.sem), _loc(stmt))
+    if isinstance(stmt, If):
+        return If(
+            clone_expr(stmt.cond, rename),
+            clone_stmt(stmt.then_branch, rename),
+            clone_stmt(stmt.else_branch, rename) if stmt.else_branch else None,
+            _loc(stmt),
+        )
+    if isinstance(stmt, While):
+        return While(
+            clone_expr(stmt.cond, rename),
+            clone_stmt(stmt.body, rename),
+            _loc(stmt),
+        )
+    if isinstance(stmt, Begin):
+        return Begin([clone_stmt(s, rename) for s in stmt.body], _loc(stmt))
+    if isinstance(stmt, Cobegin):
+        return Cobegin([clone_stmt(s, rename) for s in stmt.branches], _loc(stmt))
+    # Procedure calls are cloned by the expansion pass itself; anything
+    # else here is a bug.
+    from repro.lang.procs import Call
+
+    if isinstance(stmt, Call):
+        return Call(
+            stmt.name,
+            [clone_expr(e, rename) for e in stmt.in_args],
+            [rename.get(v, v) for v in stmt.out_args],
+            _loc(stmt),
+        )
+    raise LanguageError(f"cannot clone statement {stmt!r}")
+
+
+def _loc(node) -> Loc:
+    return Loc(node.loc.line, node.loc.column) if node.loc else Loc.none()

@@ -1,0 +1,407 @@
+"""Recursive-descent parser for the concurrent language.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program  = [ "var" decl ";" { decl ";" } ] stmt
+    decl     = ident { "," ident } ":" type
+    type     = "integer" | "semaphore" [ "initially" "(" int ")" ]
+    stmt     = assign | if | while | begin | cobegin | wait | signal | "skip"
+    assign   = ident ":=" expr
+    if       = "if" expr "then" stmt [ "else" stmt ]
+    while    = "while" expr "do" stmt
+    begin    = "begin" stmt { ";" stmt } [ ";" ] "end"
+    cobegin  = "cobegin" stmt { "||" stmt } "coend"
+    wait     = "wait" "(" ident ")"
+    signal   = "signal" "(" ident ")"
+    expr     = andexpr { "or" andexpr }
+    andexpr  = notexpr { "and" notexpr }
+    notexpr  = "not" notexpr | relexpr
+    relexpr  = arith [ ("=" | "#" | "<" | "<=" | ">" | ">=") arith ]
+    arith    = term { ("+" | "-") term }
+    term     = factor { ("*" | "/" | "mod") factor }
+    factor   = int | "true" | "false" | ident | "(" expr ")" | "-" factor
+
+``#`` is the paper's "not equal" operator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    Expr,
+    If,
+    IntLit,
+    Loc,
+    Program,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token
+
+
+class Parser:
+    """A single-use parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _loc(self) -> Loc:
+        tok = self._peek()
+        return Loc(tok.line, tok.column)
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._peek()
+        return ParseError(f"{message}, found {tok.describe()}", tok.line, tok.column)
+
+    def _expect_symbol(self, sym: str) -> Token:
+        if not self._peek().is_symbol(sym):
+            raise self._error(f"expected {sym!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._peek().is_keyword(word):
+            raise self._error(f"expected {word!r}")
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        if self._peek().kind != "ident":
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    # -- programs and declarations --------------------------------------
+
+    def parse_program(self) -> Program:
+        """Parse a full program (procedures, declarations, one statement)."""
+        loc = self._loc()
+        procs = []
+        while self._peek().is_keyword("proc"):
+            procs.append(self._parse_proc())
+            if self._peek().is_symbol(";"):
+                self._advance()
+        decls: List[VarDecl] = []
+        if self._peek().is_keyword("var"):
+            self._advance()
+            decls.append(self._parse_decl())
+            self._expect_symbol(";")
+            # Further declaration groups, until the body's first statement.
+            # Both a declaration and an assignment start with an identifier,
+            # so look ahead: "ident {, ident} :" is a declaration group,
+            # "ident :=" is the body.
+            while self._peek().kind == "ident" and self._looks_like_decl():
+                decls.append(self._parse_decl())
+                self._expect_symbol(";")
+        body = self.parse_statement()
+        if self._peek().kind != "eof":
+            raise self._error("expected end of input after program body")
+        return Program(decls, body, loc, procs=procs)
+
+    def _parse_proc(self):
+        """``proc name(in a, b; out c) stmt`` (either section optional)."""
+        from repro.lang.procs import ProcDecl
+
+        loc = self._loc()
+        self._expect_keyword("proc")
+        name = self._expect_ident("procedure name").value
+        self._expect_symbol("(")
+        ins: List[str] = []
+        outs: List[str] = []
+        # "in" and "out" are contextual markers, not reserved words.
+        if self._peek().kind == "ident" and self._peek().value == "in":
+            self._advance()
+            ins.append(self._expect_ident("in-parameter").value)
+            while self._peek().is_symbol(","):
+                self._advance()
+                ins.append(self._expect_ident("in-parameter").value)
+        if self._peek().is_symbol(";"):
+            self._advance()
+        if self._peek().kind == "ident" and self._peek().value == "out":
+            self._advance()
+            outs.append(self._expect_ident("out-parameter").value)
+            while self._peek().is_symbol(","):
+                self._advance()
+                outs.append(self._expect_ident("out-parameter").value)
+        self._expect_symbol(")")
+        body = self.parse_statement()
+        return ProcDecl(name, ins, outs, body, loc)
+
+    def _looks_like_decl(self) -> bool:
+        """Lookahead: does an ``ident {, ident} :`` declaration follow?"""
+        pos = self._pos
+        while True:
+            if self._tokens[pos].kind != "ident":
+                return False
+            pos += 1
+            tok = self._tokens[pos]
+            if tok.is_symbol(":"):
+                return True
+            if not tok.is_symbol(","):
+                return False
+            pos += 1
+
+    def _parse_decl(self) -> VarDecl:
+        loc = self._loc()
+        names = [self._expect_ident("declared variable name").value]
+        while self._peek().is_symbol(","):
+            self._advance()
+            names.append(self._expect_ident("declared variable name").value)
+        self._expect_symbol(":")
+        if self._peek().is_keyword("integer"):
+            self._advance()
+            kind, initial = "integer", 0
+            if self._peek().is_keyword("initially"):
+                initial = self._parse_initially()
+        elif self._peek().is_keyword("semaphore"):
+            self._advance()
+            kind, initial = "semaphore", 0
+            if self._peek().is_keyword("initially"):
+                initial = self._parse_initially()
+        else:
+            raise self._error("expected 'integer' or 'semaphore'")
+        return VarDecl(names, kind, initial, loc)
+
+    def _parse_initially(self) -> int:
+        self._expect_keyword("initially")
+        self._expect_symbol("(")
+        negative = False
+        if self._peek().is_symbol("-"):
+            negative = True
+            self._advance()
+        tok = self._peek()
+        if tok.kind != "int":
+            raise self._error("expected integer initial value")
+        self._advance()
+        self._expect_symbol(")")
+        value = int(tok.value)
+        return -value if negative else value
+
+    # -- statements ------------------------------------------------------
+
+    def parse_statement(self) -> Stmt:
+        """Parse one statement."""
+        tok = self._peek()
+        loc = self._loc()
+        if tok.is_keyword("begin"):
+            return self._parse_begin()
+        if tok.is_keyword("cobegin"):
+            return self._parse_cobegin()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("while"):
+            return self._parse_while()
+        if tok.is_keyword("wait"):
+            self._advance()
+            self._expect_symbol("(")
+            sem = self._expect_ident("semaphore name").value
+            self._expect_symbol(")")
+            return Wait(sem, loc)
+        if tok.is_keyword("signal"):
+            self._advance()
+            self._expect_symbol("(")
+            sem = self._expect_ident("semaphore name").value
+            self._expect_symbol(")")
+            return Signal(sem, loc)
+        if tok.is_keyword("skip"):
+            self._advance()
+            return Skip(loc)
+        if tok.is_keyword("call"):
+            return self._parse_call()
+        if tok.kind == "ident":
+            name = self._advance().value
+            self._expect_symbol(":=")
+            expr = self.parse_expression()
+            return Assign(name, expr, loc)
+        raise self._error("expected a statement")
+
+    def _parse_call(self):
+        """``call name(e1, ...; v1, ...)`` (either argument list optional)."""
+        from repro.lang.procs import Call
+
+        loc = self._loc()
+        self._expect_keyword("call")
+        name = self._expect_ident("procedure name").value
+        self._expect_symbol("(")
+        in_args: List = []
+        out_args: List[str] = []
+        if not self._peek().is_symbol(")") and not self._peek().is_symbol(";"):
+            in_args.append(self.parse_expression())
+            while self._peek().is_symbol(","):
+                self._advance()
+                in_args.append(self.parse_expression())
+        if self._peek().is_symbol(";"):
+            self._advance()
+            if self._peek().kind == "ident":
+                out_args.append(self._advance().value)
+                while self._peek().is_symbol(","):
+                    self._advance()
+                    out_args.append(self._expect_ident("out-argument variable").value)
+        self._expect_symbol(")")
+        return Call(name, in_args, out_args, loc)
+
+    def _parse_begin(self) -> Begin:
+        loc = self._loc()
+        self._expect_keyword("begin")
+        body = [self.parse_statement()]
+        while self._peek().is_symbol(";"):
+            self._advance()
+            if self._peek().is_keyword("end"):
+                break  # tolerate a trailing semicolon
+            body.append(self.parse_statement())
+        self._expect_keyword("end")
+        return Begin(body, loc)
+
+    def _parse_cobegin(self) -> Cobegin:
+        loc = self._loc()
+        self._expect_keyword("cobegin")
+        branches = [self.parse_statement()]
+        while self._peek().is_symbol("||"):
+            self._advance()
+            branches.append(self.parse_statement())
+        self._expect_keyword("coend")
+        return Cobegin(branches, loc)
+
+    def _parse_if(self) -> If:
+        loc = self._loc()
+        self._expect_keyword("if")
+        cond = self.parse_expression()
+        self._expect_keyword("then")
+        then_branch = self.parse_statement()
+        else_branch: Optional[Stmt] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            else_branch = self.parse_statement()
+        return If(cond, then_branch, else_branch, loc)
+
+    def _parse_while(self) -> While:
+        loc = self._loc()
+        self._expect_keyword("while")
+        cond = self.parse_expression()
+        self._expect_keyword("do")
+        body = self.parse_statement()
+        return While(cond, body, loc)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        """Parse one expression (lowest precedence: ``or``)."""
+        expr = self._parse_and()
+        while self._peek().is_keyword("or"):
+            loc = self._loc()
+            self._advance()
+            expr = BinOp("or", expr, self._parse_and(), loc)
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_not()
+        while self._peek().is_keyword("and"):
+            loc = self._loc()
+            self._advance()
+            expr = BinOp("and", expr, self._parse_not(), loc)
+        return expr
+
+    def _parse_not(self) -> Expr:
+        if self._peek().is_keyword("not"):
+            loc = self._loc()
+            self._advance()
+            return UnOp("not", self._parse_not(), loc)
+        return self._parse_rel()
+
+    def _parse_rel(self) -> Expr:
+        expr = self._parse_arith()
+        tok = self._peek()
+        if tok.kind == "symbol" and tok.value in ("=", "#", "<", "<=", ">", ">="):
+            loc = self._loc()
+            self._advance()
+            expr = BinOp(tok.value, expr, self._parse_arith(), loc)
+        return expr
+
+    def _parse_arith(self) -> Expr:
+        expr = self._parse_term()
+        while self._peek().is_symbol("+") or self._peek().is_symbol("-"):
+            op = self._advance().value
+            expr = BinOp(op, expr, self._parse_term())
+        return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_factor()
+        while (
+            self._peek().is_symbol("*")
+            or self._peek().is_symbol("/")
+            or self._peek().is_keyword("mod")
+        ):
+            op = self._advance().value
+            expr = BinOp(op, expr, self._parse_factor())
+        return expr
+
+    def _parse_factor(self) -> Expr:
+        tok = self._peek()
+        loc = self._loc()
+        if tok.kind == "int":
+            self._advance()
+            return IntLit(int(tok.value), loc)
+        if tok.is_keyword("true"):
+            self._advance()
+            return BoolLit(True, loc)
+        if tok.is_keyword("false"):
+            self._advance()
+            return BoolLit(False, loc)
+        if tok.kind == "ident":
+            self._advance()
+            return Var(tok.value, loc)
+        if tok.is_symbol("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_symbol(")")
+            return expr
+        if tok.is_symbol("-"):
+            self._advance()
+            return UnOp("-", self._parse_factor(), loc)
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> Program:
+    """Parse complete source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_statement(source: str) -> Stmt:
+    """Parse source text containing exactly one statement."""
+    parser = Parser(tokenize(source))
+    stmt = parser.parse_statement()
+    if parser._peek().kind != "eof":
+        raise parser._error("expected end of input after statement")
+    return stmt
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse source text containing exactly one expression."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expression()
+    if parser._peek().kind != "eof":
+        raise parser._error("expected end of input after expression")
+    return expr

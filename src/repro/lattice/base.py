@@ -1,0 +1,244 @@
+"""Abstract complete-lattice interface (paper Definition 1).
+
+A security classification scheme is a *complete lattice* ``(C, <=)``:
+a finite partially ordered set in which every subset has a least upper
+bound (``join``, the paper's ``(+)``) and a greatest lower bound
+(``meet``, the paper's ``(x)``).  ``high`` denotes the maximum element
+and ``low`` the minimum.
+
+Concrete schemes implement :meth:`Lattice.leq`, :meth:`Lattice.join`,
+:meth:`Lattice.meet`, and expose their carrier set through
+:attr:`Lattice.elements`.  Everything else (n-ary joins/meets, axiom
+validation, comparability queries) is provided generically here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import ElementError, NotALatticeError
+
+Element = Hashable
+
+
+class Lattice(ABC):
+    """A finite complete lattice of security classes.
+
+    Elements may be any hashable Python values; each concrete subclass
+    documents its carrier.  All operations raise
+    :class:`~repro.errors.ElementError` when given a value outside the
+    carrier, so programming errors surface immediately instead of
+    silently producing wrong certifications.
+    """
+
+    #: Human-readable name of the scheme (subclasses may override).
+    name: str = "lattice"
+
+    # ------------------------------------------------------------------
+    # Abstract core.
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def elements(self) -> FrozenSet[Element]:
+        """The carrier set ``C``."""
+
+    @abstractmethod
+    def leq(self, a: Element, b: Element) -> bool:
+        """Return ``True`` iff ``a <= b`` in the scheme's partial order."""
+
+    @abstractmethod
+    def join(self, a: Element, b: Element) -> Element:
+        """Least upper bound of ``a`` and ``b`` (the paper's ``(+)``)."""
+
+    @abstractmethod
+    def meet(self, a: Element, b: Element) -> Element:
+        """Greatest lower bound of ``a`` and ``b`` (the paper's ``(x)``)."""
+
+    # ------------------------------------------------------------------
+    # Distinguished elements.
+    # ------------------------------------------------------------------
+
+    @property
+    def top(self) -> Element:
+        """The maximum element (the paper's ``high``)."""
+        return self.join_all(self.elements)
+
+    @property
+    def bottom(self) -> Element:
+        """The minimum element (the paper's ``low``)."""
+        return self.meet_all(self.elements)
+
+    # ------------------------------------------------------------------
+    # Derived operations.
+    # ------------------------------------------------------------------
+
+    def contains(self, x: Any) -> bool:
+        """Return ``True`` iff ``x`` belongs to the carrier."""
+        try:
+            return x in self.elements
+        except TypeError:  # unhashable value can never be an element
+            return False
+
+    def check(self, x: Any) -> Element:
+        """Return ``x`` unchanged, or raise :class:`ElementError`."""
+        if not self.contains(x):
+            raise ElementError(f"{x!r} is not an element of {self.name}")
+        return x
+
+    def join_all(self, xs: Iterable[Element]) -> Element:
+        """Least upper bound of ``xs``; the empty join is ``bottom``.
+
+        The empty case is computed without recursing through
+        :attr:`bottom` (which itself folds over the carrier).
+        """
+        result = None
+        seen = False
+        for x in xs:
+            self.check(x)
+            result = x if not seen else self.join(result, x)
+            seen = True
+        if not seen:
+            return self.meet_all_nonempty(self.elements)
+        return result
+
+    def meet_all(self, xs: Iterable[Element]) -> Element:
+        """Greatest lower bound of ``xs``; the empty meet is ``top``.
+
+        The empty meet being ``top`` is what makes ``mod(S)`` of a
+        statement that modifies nothing (``skip``) impose no constraint.
+        """
+        result = None
+        seen = False
+        for x in xs:
+            self.check(x)
+            result = x if not seen else self.meet(result, x)
+            seen = True
+        if not seen:
+            return self.join_all_nonempty(self.elements)
+        return result
+
+    def join_all_nonempty(self, xs: Iterable[Element]) -> Element:
+        """``join_all`` for iterables known to be non-empty."""
+        it = iter(xs)
+        try:
+            result = self.check(next(it))
+        except StopIteration:
+            raise ElementError("join_all_nonempty requires at least one element") from None
+        for x in it:
+            result = self.join(result, self.check(x))
+        return result
+
+    def meet_all_nonempty(self, xs: Iterable[Element]) -> Element:
+        """``meet_all`` for iterables known to be non-empty."""
+        it = iter(xs)
+        try:
+            result = self.check(next(it))
+        except StopIteration:
+            raise ElementError("meet_all_nonempty requires at least one element") from None
+        for x in it:
+            result = self.meet(result, self.check(x))
+        return result
+
+    def lt(self, a: Element, b: Element) -> bool:
+        """Strict order: ``a <= b`` and ``a != b``."""
+        return a != b and self.leq(a, b)
+
+    def comparable(self, a: Element, b: Element) -> bool:
+        """Return ``True`` iff ``a <= b`` or ``b <= a``."""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def equivalent(self, a: Element, b: Element) -> bool:
+        """Order-equivalence (mutual ``leq``); equality for honest posets."""
+        return self.leq(a, b) and self.leq(b, a)
+
+    def upper_set(self, a: Element) -> FrozenSet[Element]:
+        """All elements ``x`` with ``a <= x``."""
+        self.check(a)
+        return frozenset(x for x in self.elements if self.leq(a, x))
+
+    def lower_set(self, a: Element) -> FrozenSet[Element]:
+        """All elements ``x`` with ``x <= a``."""
+        self.check(a)
+        return frozenset(x for x in self.elements if self.leq(x, a))
+
+    def covers(self, a: Element, b: Element) -> bool:
+        """Return ``True`` iff ``b`` covers ``a`` (a < b with nothing between)."""
+        if not self.lt(a, b):
+            return False
+        return not any(self.lt(a, z) and self.lt(z, b) for z in self.elements)
+
+    def iter_pairs(self) -> Iterator[Tuple[Element, Element]]:
+        """All ordered pairs of elements (for validation and testing)."""
+        elems = list(self.elements)
+        return itertools.product(elems, elems)
+
+    # ------------------------------------------------------------------
+    # Axiom validation.
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Verify the complete-lattice axioms, raising on violation.
+
+        Checks, over the full carrier: partial-order axioms for
+        :meth:`leq`; that :meth:`join`/:meth:`meet` return genuine least
+        upper / greatest lower bounds; and closure of the operations.
+        Cost is cubic in ``len(elements)`` — intended for construction
+        time and tests, not hot paths.
+        """
+        elems: List[Element] = list(self.elements)
+        if not elems:
+            raise NotALatticeError(f"{self.name}: empty carrier")
+        for a in elems:
+            if not self.leq(a, a):
+                raise NotALatticeError(f"{self.name}: leq not reflexive at {a!r}")
+        for a, b in self.iter_pairs():
+            if self.leq(a, b) and self.leq(b, a) and a != b:
+                raise NotALatticeError(f"{self.name}: leq not antisymmetric on {a!r}, {b!r}")
+        for a, b in self.iter_pairs():
+            if not self.leq(a, b):
+                continue
+            for c in elems:
+                if self.leq(b, c) and not self.leq(a, c):
+                    raise NotALatticeError(
+                        f"{self.name}: leq not transitive on {a!r} <= {b!r} <= {c!r}"
+                    )
+        for a, b in self.iter_pairs():
+            j = self.join(a, b)
+            if not self.contains(j):
+                raise NotALatticeError(f"{self.name}: join({a!r}, {b!r}) escapes the carrier")
+            if not (self.leq(a, j) and self.leq(b, j)):
+                raise NotALatticeError(f"{self.name}: join({a!r}, {b!r}) = {j!r} is not an upper bound")
+            for u in elems:
+                if self.leq(a, u) and self.leq(b, u) and not self.leq(j, u):
+                    raise NotALatticeError(
+                        f"{self.name}: join({a!r}, {b!r}) = {j!r} is not least (vs {u!r})"
+                    )
+            m = self.meet(a, b)
+            if not self.contains(m):
+                raise NotALatticeError(f"{self.name}: meet({a!r}, {b!r}) escapes the carrier")
+            if not (self.leq(m, a) and self.leq(m, b)):
+                raise NotALatticeError(f"{self.name}: meet({a!r}, {b!r}) = {m!r} is not a lower bound")
+            for d in elems:
+                if self.leq(d, a) and self.leq(d, b) and not self.leq(d, m):
+                    raise NotALatticeError(
+                        f"{self.name}: meet({a!r}, {b!r}) = {m!r} is not greatest (vs {d!r})"
+                    )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences.
+    # ------------------------------------------------------------------
+
+    def __contains__(self, x: Any) -> bool:
+        return self.contains(x)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} with {len(self)} elements>"

@@ -1,0 +1,82 @@
+"""Totally ordered classification schemes (chains).
+
+The simplest and most common security schemes are chains: the two-level
+``low < high`` scheme used throughout the paper's examples, and the
+military ``unclassified < confidential < secret < topsecret`` hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+from repro.errors import LatticeError
+from repro.lattice.base import Element, Lattice
+
+
+class ChainLattice(Lattice):
+    """A chain (total order) over distinct labels.
+
+    ``labels`` is given from bottom to top.  Elements are the label
+    values themselves, so with ``ChainLattice(["low", "high"])`` the
+    classes are the strings ``"low"`` and ``"high"``.
+    """
+
+    def __init__(self, labels: Sequence[Element], name: str = "chain"):
+        if not labels:
+            raise LatticeError("a chain needs at least one label")
+        if len(set(labels)) != len(labels):
+            raise LatticeError(f"chain labels must be distinct, got {labels!r}")
+        self.name = name
+        self._labels = tuple(labels)
+        self._rank: Dict[Element, int] = {x: i for i, x in enumerate(labels)}
+        self._elements = frozenset(labels)
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return self._elements
+
+    @property
+    def labels(self) -> tuple:
+        """Labels in increasing order."""
+        return self._labels
+
+    def rank(self, a: Element) -> int:
+        """Position of ``a`` in the chain, 0 = bottom."""
+        self.check(a)
+        return self._rank[a]
+
+    def leq(self, a: Element, b: Element) -> bool:
+        self.check(a)
+        self.check(b)
+        return self._rank[a] <= self._rank[b]
+
+    def join(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return a if self._rank[a] >= self._rank[b] else b
+
+    def meet(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return a if self._rank[a] <= self._rank[b] else b
+
+    @property
+    def top(self) -> Element:
+        return self._labels[-1]
+
+    @property
+    def bottom(self) -> Element:
+        return self._labels[0]
+
+
+def two_level() -> ChainLattice:
+    """The paper's canonical scheme: ``low < high``."""
+    return ChainLattice(["low", "high"], name="two-level")
+
+
+def four_level() -> ChainLattice:
+    """Military levels: unclassified < confidential < secret < topsecret."""
+    return ChainLattice(
+        ["unclassified", "confidential", "secret", "topsecret"],
+        name="four-level",
+    )

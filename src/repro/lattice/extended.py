@@ -1,0 +1,109 @@
+"""The paper's extended classification scheme (Definition 4).
+
+CFM needs a way to say "this statement produces *no* global flow".  The
+paper adjoins a fresh element ``nil`` strictly below every class of the
+base scheme:
+
+    C = C' u {nil},   x <= y  iff  (x, y in C' and x <=' y) or x = nil.
+
+``flow(S) = nil`` then makes every check of the form ``flow(S) <= mod(S)``
+vacuously true, and ``nil`` is the identity of join, so flows combine
+correctly through composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet
+
+from repro.lattice.base import Element, Lattice
+
+
+class Nil:
+    """The unique ``nil`` element adjoined by Definition 4.
+
+    A process-wide singleton (:data:`NIL`); compares equal only to
+    itself and prints as ``nil``.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "nil"
+
+    def __reduce__(self):  # keep the singleton under pickling
+        return (Nil, ())
+
+
+#: The singleton ``nil`` element.
+NIL = Nil()
+
+
+class ExtendedLattice(Lattice):
+    """The base scheme with :data:`NIL` adjoined as a new bottom.
+
+    All base elements keep their order; ``nil <= x`` for every ``x``.
+    ``join(nil, x) = x`` and ``meet(nil, x) = nil``.  The top is the
+    base top (``high``); the bottom is ``nil``.
+    """
+
+    def __init__(self, base: Lattice):
+        if NIL in base.elements:
+            # Extending twice would make the bottom ambiguous; Definition
+            # 4 requires nil to be fresh ("where nil is not in C'").
+            from repro.errors import LatticeError
+
+            raise LatticeError(f"{base.name} already contains nil; cannot extend again")
+        self.name = f"extended({base.name})"
+        self._base = base
+        self._elements = base.elements | {NIL}
+
+    @property
+    def base(self) -> Lattice:
+        """The underlying scheme ``(C', <=')``."""
+        return self._base
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return self._elements
+
+    def is_nil(self, x: Any) -> bool:
+        """Return ``True`` iff ``x`` is the adjoined ``nil``."""
+        return x is NIL or isinstance(x, Nil)
+
+    def leq(self, a: Element, b: Element) -> bool:
+        self.check(a)
+        self.check(b)
+        if self.is_nil(a):
+            return True
+        if self.is_nil(b):
+            return False
+        return self._base.leq(a, b)
+
+    def join(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        if self.is_nil(a):
+            return b
+        if self.is_nil(b):
+            return a
+        return self._base.join(a, b)
+
+    def meet(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        if self.is_nil(a) or self.is_nil(b):
+            return NIL
+        return self._base.meet(a, b)
+
+    @property
+    def top(self) -> Element:
+        return self._base.top
+
+    @property
+    def bottom(self) -> Element:
+        return NIL

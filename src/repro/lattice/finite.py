@@ -1,0 +1,136 @@
+"""Arbitrary finite lattices defined by an explicit order relation.
+
+Useful for schemes that are neither chains nor products — e.g. the
+"diamond" ``low < {left, right} < high`` often used to exercise
+incomparable classes — and for property-based testing against randomly
+generated lattices.
+
+Construction takes the carrier plus either covering pairs or arbitrary
+``a <= b`` pairs; the reflexive-transitive closure is computed, the
+complete-lattice axioms are verified, and join/meet tables are
+precomputed so the operations run in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import LatticeError, NotALatticeError
+from repro.lattice.base import Element, Lattice
+
+
+class FiniteLattice(Lattice):
+    """A finite lattice from an explicit partial order.
+
+    ``order`` is an iterable of pairs ``(a, b)`` meaning ``a <= b``;
+    reflexivity and transitivity are closed off automatically.  Raises
+    :class:`~repro.errors.NotALatticeError` at construction time if the
+    resulting order is not a complete lattice (Definition 1 requires a
+    complete lattice, so this check is not optional).
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[Element],
+        order: Iterable[Tuple[Element, Element]],
+        name: str = "finite",
+    ):
+        if not elements:
+            raise LatticeError("a lattice needs at least one element")
+        if len(set(elements)) != len(elements):
+            raise LatticeError("lattice elements must be distinct")
+        self.name = name
+        self._elements = frozenset(elements)
+        self._index: Dict[Element, int] = {x: i for i, x in enumerate(elements)}
+        n = len(elements)
+        self._order_list = list(elements)
+
+        # Reachability matrix, closed under reflexivity and transitivity.
+        leq = [[False] * n for _ in range(n)]
+        for i in range(n):
+            leq[i][i] = True
+        for a, b in order:
+            if a not in self._index or b not in self._index:
+                raise LatticeError(f"order pair ({a!r}, {b!r}) mentions unknown elements")
+            leq[self._index[a]][self._index[b]] = True
+        for k in range(n):  # Floyd-Warshall style transitive closure
+            lk = leq[k]
+            for i in range(n):
+                if leq[i][k]:
+                    li = leq[i]
+                    for j in range(n):
+                        if lk[j]:
+                            li[j] = True
+        for i in range(n):
+            for j in range(n):
+                if i != j and leq[i][j] and leq[j][i]:
+                    raise NotALatticeError(
+                        f"{name}: cycle between {self._order_list[i]!r} and {self._order_list[j]!r}"
+                    )
+        self._leq = leq
+
+        # Precompute join and meet tables; fail if a pair lacks a lub/glb.
+        self._join_table: Dict[Tuple[int, int], int] = {}
+        self._meet_table: Dict[Tuple[int, int], int] = {}
+        for i in range(n):
+            for j in range(n):
+                self._join_table[(i, j)] = self._bound(i, j, upper=True)
+                self._meet_table[(i, j)] = self._bound(i, j, upper=False)
+
+    def _bound(self, i: int, j: int, upper: bool) -> int:
+        n = len(self._order_list)
+        if upper:
+            candidates = [k for k in range(n) if self._leq[i][k] and self._leq[j][k]]
+        else:
+            candidates = [k for k in range(n) if self._leq[k][i] and self._leq[k][j]]
+        best: Optional[int] = None
+        for k in candidates:
+            if best is None:
+                best = k
+                continue
+            if (upper and self._leq[k][best]) or (not upper and self._leq[best][k]):
+                best = k
+        if best is None:
+            kind = "upper" if upper else "lower"
+            raise NotALatticeError(
+                f"{self.name}: no common {kind} bound of "
+                f"{self._order_list[i]!r} and {self._order_list[j]!r}"
+            )
+        # best must actually be least/greatest, not merely minimal/maximal.
+        for k in candidates:
+            ok = self._leq[best][k] if upper else self._leq[k][best]
+            if not ok:
+                kind = "least upper" if upper else "greatest lower"
+                raise NotALatticeError(
+                    f"{self.name}: {self._order_list[i]!r} and {self._order_list[j]!r} "
+                    f"have no {kind} bound"
+                )
+        return best
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return self._elements
+
+    def leq(self, a: Element, b: Element) -> bool:
+        self.check(a)
+        self.check(b)
+        return self._leq[self._index[a]][self._index[b]]
+
+    def join(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return self._order_list[self._join_table[(self._index[a], self._index[b])]]
+
+    def meet(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return self._order_list[self._meet_table[(self._index[a], self._index[b])]]
+
+
+def diamond() -> FiniteLattice:
+    """The four-point diamond: low < left, right < high (left, right incomparable)."""
+    return FiniteLattice(
+        ["low", "left", "right", "high"],
+        [("low", "left"), ("low", "right"), ("left", "high"), ("right", "high")],
+        name="diamond",
+    )

@@ -1,0 +1,75 @@
+"""Parsing classification schemes from small text specifications.
+
+Users bring their own lattices (Definition 1 only requires a complete
+lattice); this module reads two spec styles::
+
+    # a chain, bottom to top
+    chain: public < internal < secret < topsecret
+
+    # or an arbitrary finite lattice by covering pairs
+    elements: bot, left, right, top
+    order: bot < left, bot < right, left < top, right < top
+
+Lines starting with ``#`` are comments.  The resulting scheme is
+validated against the complete-lattice axioms, so a malformed order is
+rejected with an explanation instead of silently mis-certifying.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import LatticeError
+from repro.lattice.base import Lattice
+from repro.lattice.chain import ChainLattice
+from repro.lattice.finite import FiniteLattice
+
+
+def parse_scheme(text: str, name: str = "custom") -> Lattice:
+    """Parse a scheme specification (see module docstring)."""
+    chain_labels: List[str] = []
+    elements: List[str] = []
+    order: List[Tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        key, sep, rest = line.partition(":")
+        if not sep:
+            raise LatticeError(f"scheme spec line has no 'key:': {raw!r}")
+        key = key.strip().lower()
+        if key == "chain":
+            chain_labels = [label.strip() for label in rest.split("<")]
+            if any(not label for label in chain_labels):
+                raise LatticeError(f"empty label in chain spec: {raw!r}")
+        elif key == "elements":
+            elements = [e.strip() for e in rest.split(",") if e.strip()]
+        elif key == "order":
+            for pair in rest.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                lo, sep2, hi = pair.partition("<")
+                if not sep2 or not lo.strip() or not hi.strip():
+                    raise LatticeError(f"order pair must be 'a < b': {pair!r}")
+                order.append((lo.strip(), hi.strip()))
+        else:
+            raise LatticeError(f"unknown scheme spec key {key!r}")
+
+    if chain_labels and (elements or order):
+        raise LatticeError("give either 'chain:' or 'elements:'/'order:', not both")
+    if chain_labels:
+        scheme: Lattice = ChainLattice(chain_labels, name=name)
+    elif elements:
+        scheme = FiniteLattice(elements, order, name=name)
+    else:
+        raise LatticeError("the scheme spec declares no elements")
+    scheme.validate()
+    return scheme
+
+
+def load_scheme(path: str, name: str = None) -> Lattice:
+    """Read and parse a scheme spec file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_scheme(text, name=name or path)

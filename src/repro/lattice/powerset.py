@@ -1,0 +1,73 @@
+"""Powerset (category / need-to-know) classification schemes.
+
+In Denning's lattice model, a compartmented scheme classifies
+information by the *set* of categories it concerns (e.g. ``{nuclear,
+crypto}``), ordered by set inclusion.  Join is union and meet is
+intersection; the bottom is the empty set and the top is the full
+category set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable
+
+from repro.errors import LatticeError
+from repro.lattice.base import Element, Lattice
+
+
+class PowersetLattice(Lattice):
+    """All subsets of a finite category universe, ordered by inclusion.
+
+    Elements are ``frozenset`` values.  The carrier has ``2**n``
+    elements for ``n`` categories, so keep universes small (the paper
+    only requires *finite* schemes).
+    """
+
+    def __init__(self, categories: Iterable[str], name: str = "powerset"):
+        universe = frozenset(categories)
+        if len(universe) > 16:
+            raise LatticeError(
+                f"powerset lattice over {len(universe)} categories would have "
+                f"2**{len(universe)} elements; use a smaller universe"
+            )
+        self.name = name
+        self._universe = universe
+        subsets = []
+        cats = sorted(universe)
+        for r in range(len(cats) + 1):
+            for combo in itertools.combinations(cats, r):
+                subsets.append(frozenset(combo))
+        self._elements = frozenset(subsets)
+
+    @property
+    def universe(self) -> FrozenSet[str]:
+        """The full category set (the lattice top)."""
+        return self._universe
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return self._elements
+
+    def leq(self, a: Element, b: Element) -> bool:
+        self.check(a)
+        self.check(b)
+        return a <= b
+
+    def join(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return a | b
+
+    def meet(self, a: Element, b: Element) -> Element:
+        self.check(a)
+        self.check(b)
+        return a & b
+
+    @property
+    def top(self) -> Element:
+        return self._universe
+
+    @property
+    def bottom(self) -> Element:
+        return frozenset()

@@ -1,0 +1,86 @@
+"""Componentwise products of classification schemes.
+
+The product of complete lattices is again a complete lattice with all
+operations taken componentwise.  The classic application is the
+military scheme: (level chain) x (category powerset).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Tuple
+
+from repro.errors import ElementError, LatticeError
+from repro.lattice.base import Element, Lattice
+from repro.lattice.chain import four_level
+from repro.lattice.powerset import PowersetLattice
+
+
+class ProductLattice(Lattice):
+    """The product of two or more component lattices.
+
+    Elements are tuples, one coordinate per component.  The carrier is
+    materialized eagerly (products of small finite schemes), which keeps
+    membership checks exact.
+    """
+
+    def __init__(self, *components: Lattice, name: str = "product"):
+        if len(components) < 2:
+            raise LatticeError("a product needs at least two components")
+        self.name = name
+        self._components: Tuple[Lattice, ...] = tuple(components)
+        size = 1
+        for comp in components:
+            size *= len(comp.elements)
+        if size > 1 << 16:
+            raise LatticeError(f"product carrier would have {size} elements; too large")
+        self._elements = frozenset(
+            itertools.product(*(sorted(c.elements, key=repr) for c in components))
+        )
+
+    @property
+    def components(self) -> Tuple[Lattice, ...]:
+        return self._components
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return self._elements
+
+    def _check_tuple(self, x: Element) -> Tuple:
+        if not isinstance(x, tuple) or len(x) != len(self._components):
+            raise ElementError(f"{x!r} is not a {len(self._components)}-tuple of {self.name}")
+        for comp, coord in zip(self._components, x):
+            comp.check(coord)
+        return x
+
+    def leq(self, a: Element, b: Element) -> bool:
+        self._check_tuple(a)
+        self._check_tuple(b)
+        return all(c.leq(x, y) for c, x, y in zip(self._components, a, b))
+
+    def join(self, a: Element, b: Element) -> Element:
+        self._check_tuple(a)
+        self._check_tuple(b)
+        return tuple(c.join(x, y) for c, x, y in zip(self._components, a, b))
+
+    def meet(self, a: Element, b: Element) -> Element:
+        self._check_tuple(a)
+        self._check_tuple(b)
+        return tuple(c.meet(x, y) for c, x, y in zip(self._components, a, b))
+
+    @property
+    def top(self) -> Element:
+        return tuple(c.top for c in self._components)
+
+    @property
+    def bottom(self) -> Element:
+        return tuple(c.bottom for c in self._components)
+
+
+def military(categories: Tuple[str, ...] = ("nuclear", "crypto")) -> ProductLattice:
+    """Levels x categories: the standard compartmented-security scheme."""
+    return ProductLattice(
+        four_level(),
+        PowersetLattice(categories, name="categories"),
+        name="military",
+    )

@@ -1,0 +1,68 @@
+"""Rendering helpers for classification schemes.
+
+Pure-text output only (no graphviz dependency): covering-relation
+(Hasse) edges, a DOT document that external tooling can render, and a
+compact ASCII listing of the order by rank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lattice.base import Element, Lattice
+
+
+def hasse_edges(lattice: Lattice) -> List[Tuple[Element, Element]]:
+    """Covering pairs ``(a, b)`` with ``a < b`` and nothing strictly between."""
+    edges = []
+    for a in lattice.elements:
+        for b in lattice.elements:
+            if lattice.covers(a, b):
+                edges.append((a, b))
+    edges.sort(key=lambda e: (repr(e[0]), repr(e[1])))
+    return edges
+
+
+def _label(x: Element) -> str:
+    if isinstance(x, frozenset):
+        return "{" + ",".join(sorted(map(str, x))) + "}"
+    if isinstance(x, tuple):
+        return "(" + ", ".join(_label(c) for c in x) + ")"
+    return str(x)
+
+
+def to_dot(lattice: Lattice, graph_name: str = "scheme") -> str:
+    """A DOT digraph of the Hasse diagram, edges pointing upward."""
+    lines = [f"digraph {graph_name} {{", "  rankdir=BT;"]
+    names: Dict[Element, str] = {}
+    for i, x in enumerate(sorted(lattice.elements, key=repr)):
+        names[x] = f"n{i}"
+        lines.append(f'  n{i} [label="{_label(x)}"];')
+    for a, b in hasse_edges(lattice):
+        lines.append(f"  {names[a]} -> {names[b]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_order(lattice: Lattice) -> str:
+    """Elements grouped by height (longest chain from bottom), one level per line."""
+    height: Dict[Element, int] = {}
+    remaining = set(lattice.elements)
+    level = 0
+    while remaining:
+        layer = {
+            x
+            for x in remaining
+            if all(y in height for y in lattice.elements if lattice.lt(y, x))
+        }
+        if not layer:  # cyclic order would already have failed validation
+            layer = set(remaining)
+        for x in layer:
+            height[x] = level
+        remaining -= layer
+        level += 1
+    lines = []
+    for lvl in range(level - 1, -1, -1):
+        members = sorted((x for x, h in height.items() if h == lvl), key=repr)
+        lines.append("  " + "   ".join(_label(x) for x in members))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""The information flow logic (paper section 3, Figure 1).
+
+A deductive logic for reasoning about information flow, after Andrews &
+Reitman [1]: assertions denote restrictions on the *information state*
+(classifications, not values), and proof rules mirror Hoare logic with
+two certification variables — ``local`` for indirect flows confined to
+a statement and ``global`` for flows that arise from sequencing
+(conditional termination and synchronization).
+
+Modules:
+
+* :mod:`repro.logic.classexpr` — class expressions: variable classes
+  (the paper's underlined ``v``), ``local``, ``global``, lattice
+  constants, and their joins, in a normal form.
+* :mod:`repro.logic.assertions` — flow assertions (conjunctions of
+  upper bounds) with syntactic substitution and the {V, L, G} shape.
+* :mod:`repro.logic.entailment` — the derivability relation ``P |- Q``
+  (lattice theory + propositional logic).
+* :mod:`repro.logic.proof` — proof trees for the Figure 1 rules.
+* :mod:`repro.logic.checker` — an independent whole-proof verifier,
+  including interference-freedom for ``cobegin``.
+* :mod:`repro.logic.generator` — Theorem 1's constructive recipe:
+  CFM-certified program -> completely invariant flow proof.
+* :mod:`repro.logic.extract` — Theorem 2's direction: completely
+  invariant proof -> CFM certification.
+* :mod:`repro.logic.render` — proof pretty-printing.
+"""
+
+from repro.logic.assertions import Bound, FlowAssertion, policy_assertion
+from repro.logic.classexpr import (
+    GLOBAL,
+    LOCAL,
+    CertVar,
+    ClassExpr,
+    VarClass,
+    class_of_expr,
+    const_expr,
+    var_class,
+)
+from repro.logic.checker import CheckedProof, check_proof
+from repro.logic.entailment import Entailment
+from repro.logic.extract import certification_from_proof, is_completely_invariant
+from repro.logic.generator import generate_proof
+from repro.logic.proof import ProofNode
+from repro.logic.render import render_proof
+from repro.logic.search import proof_from_analysis, state_assertion
+from repro.logic.serialize import dump_proof, load_proof
+
+__all__ = [
+    "ClassExpr",
+    "VarClass",
+    "CertVar",
+    "LOCAL",
+    "GLOBAL",
+    "var_class",
+    "const_expr",
+    "class_of_expr",
+    "Bound",
+    "FlowAssertion",
+    "policy_assertion",
+    "Entailment",
+    "ProofNode",
+    "check_proof",
+    "CheckedProof",
+    "generate_proof",
+    "is_completely_invariant",
+    "certification_from_proof",
+    "render_proof",
+    "proof_from_analysis",
+    "state_assertion",
+    "dump_proof",
+    "load_proof",
+]

@@ -1,0 +1,100 @@
+"""Proof trees for the flow logic.
+
+A :class:`ProofNode` records one application of a Figure 1 rule: the
+statement it concerns, the pre- and post-assertions, the rule name, and
+the premise sub-proofs.  Trees are built either by hand, or by the
+Theorem 1 generator, and are verified by the independent checker in
+:mod:`repro.logic.checker` — the generator never marks its own homework.
+
+Rule names:
+
+======================  ====================================================
+``assignment``          the assignment axiom
+``skip``                ``{P} skip {P}`` (for the optional else branch)
+``alternation``         the if rule
+``iteration``           the while rule
+``composition``         the begin rule
+``consequence``         pre-strengthening / post-weakening
+``concurrency``         the cobegin rule (with interference freedom)
+``wait`` / ``signal``   the semaphore axioms
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ProofError
+from repro.lang.ast import Stmt
+from repro.logic.assertions import FlowAssertion
+
+RULES = (
+    "assignment",
+    "skip",
+    "alternation",
+    "iteration",
+    "composition",
+    "consequence",
+    "concurrency",
+    "wait",
+    "signal",
+)
+
+
+class ProofNode:
+    """One rule application: ``{pre} stmt {post}`` from ``premises``."""
+
+    __slots__ = ("rule", "stmt", "pre", "post", "premises", "note")
+
+    def __init__(
+        self,
+        rule: str,
+        stmt: Stmt,
+        pre: FlowAssertion,
+        post: FlowAssertion,
+        premises: Sequence["ProofNode"] = (),
+        note: str = "",
+    ):
+        if rule not in RULES:
+            raise ProofError(f"unknown rule {rule!r}")
+        self.rule = rule
+        self.stmt = stmt
+        self.pre = pre
+        self.post = post
+        self.premises: List[ProofNode] = list(premises)
+        #: Free-form annotation (the generator records its reasoning here).
+        self.note = note
+
+    # ------------------------------------------------------------------
+
+    def walk(self) -> Iterator["ProofNode"]:
+        """All nodes in the tree, preorder (self first)."""
+        yield self
+        for premise in self.premises:
+            yield from premise.walk()
+
+    def conclusion(self) -> Tuple[FlowAssertion, Stmt, FlowAssertion]:
+        """The logical statement this node proves."""
+        return (self.pre, self.stmt, self.post)
+
+    def size(self) -> int:
+        """Number of rule applications in the tree."""
+        return sum(1 for _ in self.walk())
+
+    def outermost_for(self, stmt: Stmt) -> Optional["ProofNode"]:
+        """The first (outermost) node concerning ``stmt``, if any.
+
+        "The pre-condition of S' in the proof" (Definition 7) means the
+        outermost node's pre: consequence wrappers around an axiom
+        carry the context assertion.
+        """
+        for node in self.walk():
+            if node.stmt is stmt:
+                return node
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProofNode {self.rule} {type(self.stmt).__name__} "
+            f"({self.size()} rule applications)>"
+        )

@@ -1,0 +1,49 @@
+"""Pretty-printing of flow-logic proof trees.
+
+Produces an indented, human-readable account of a proof in the style of
+the paper's section 5.2 example: each rule application shows its
+pre-assertion, the statement, and its post-assertion.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import Stmt
+from repro.lang.pretty import pretty
+from repro.logic.proof import ProofNode
+
+
+def _one_line(stmt: Stmt, limit: int = 48) -> str:
+    text = " ".join(pretty(stmt).split())
+    if len(text) > limit:
+        text = text[: limit - 3] + "..."
+    return text
+
+
+def render_proof(proof: ProofNode, indent: int = 0) -> str:
+    """Render ``proof`` as indented text, premises nested under rules."""
+    pad = "  " * indent
+    lines: List[str] = [
+        f"{pad}[{proof.rule}] {_one_line(proof.stmt)}",
+        f"{pad}  pre:  {proof.pre!r}",
+        f"{pad}  post: {proof.post!r}",
+    ]
+    if proof.note:
+        lines.append(f"{pad}  note: {proof.note}")
+    for premise in proof.premises:
+        lines.append(render_proof(premise, indent + 1))
+    return "\n".join(lines)
+
+
+def proof_outline(proof: ProofNode) -> str:
+    """A compact one-line-per-rule outline (rule names and statements only)."""
+    lines = []
+
+    def walk(node: ProofNode, depth: int) -> None:
+        lines.append("  " * depth + f"{node.rule}: {_one_line(node.stmt, 60)}")
+        for premise in node.premises:
+            walk(premise, depth + 1)
+
+    walk(proof, 0)
+    return "\n".join(lines)

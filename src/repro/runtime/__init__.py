@@ -1,0 +1,49 @@
+"""Concurrent runtime for the paper's language.
+
+The paper assumes (section 2.0) that every assignment, expression
+evaluation, ``wait`` and ``signal`` is an *indivisible* action.  The
+runtime honours that exactly: a program is executed as a set of
+processes, each a small-step machine whose every scheduler-visible step
+is one such atomic action.  On top of the machine sit:
+
+* schedulers (round-robin, seeded random, fixed scripts);
+* an executor with deadlock detection and step budgets;
+* a dynamic label monitor mirroring the flow logic (for empirically
+  validating static certification);
+* an exhaustive interleaving explorer (a small model checker);
+* a possibilistic noninterference tester.
+"""
+
+from repro.runtime.eval import evaluate
+from repro.runtime.machine import Event, Machine, Process
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.runtime.executor import ExecutionResult, run
+from repro.runtime.taint import TaintMonitor
+from repro.runtime.enforce import BlockedAction, EnforcingMonitor, SecurityViolation
+from repro.runtime.explorer import ExplorationResult, Outcome, explore
+from repro.runtime.noninterference import NIResult, check_noninterference
+
+__all__ = [
+    "evaluate",
+    "Machine",
+    "Process",
+    "Event",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "FixedScheduler",
+    "run",
+    "ExecutionResult",
+    "TaintMonitor",
+    "EnforcingMonitor",
+    "SecurityViolation",
+    "BlockedAction",
+    "explore",
+    "ExplorationResult",
+    "Outcome",
+    "check_noninterference",
+    "NIResult",
+]

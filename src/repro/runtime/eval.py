@@ -1,0 +1,95 @@
+"""Expression evaluation.
+
+Expressions are evaluated atomically (the section 2.0 assumption), so
+evaluation never interleaves with other processes; this module is a
+plain recursive evaluator over a store snapshot.
+
+Types are enforced at runtime: arithmetic on integers, connectives on
+booleans, comparisons between integers.  ``/`` truncates toward zero
+(the common 1970s convention) and division by zero is a runtime fault.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.errors import RuntimeFault, UndefinedVariableError
+from repro.lang.ast import BinOp, BoolLit, Expr, IntLit, UnOp, Var
+
+Value = Union[int, bool]
+
+
+def _as_int(value: Value, context: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RuntimeFault(f"{context}: expected an integer, got {value!r}")
+    return value
+
+
+def _as_bool(value: Value, context: str) -> bool:
+    if not isinstance(value, bool):
+        raise RuntimeFault(f"{context}: expected a boolean, got {value!r}")
+    return value
+
+
+def evaluate(expr: Expr, store: Mapping[str, Value]) -> Value:
+    """Evaluate ``expr`` against ``store``."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return store[expr.name]
+        except KeyError:
+            raise UndefinedVariableError(f"variable {expr.name!r} is not in the store") from None
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return -_as_int(evaluate(expr.operand, store), "unary minus")
+        return not _as_bool(evaluate(expr.operand, store), "not")
+    if isinstance(expr, BinOp):
+        op = expr.op
+        if op == "and":
+            # Both operands are part of one indivisible evaluation; we
+            # still short-circuit, which is unobservable atomically.
+            return _as_bool(evaluate(expr.left, store), "and") and _as_bool(
+                evaluate(expr.right, store), "and"
+            )
+        if op == "or":
+            return _as_bool(evaluate(expr.left, store), "or") or _as_bool(
+                evaluate(expr.right, store), "or"
+            )
+        left = evaluate(expr.left, store)
+        right = evaluate(expr.right, store)
+        if op in ("+", "-", "*", "/", "mod"):
+            a = _as_int(left, op)
+            b = _as_int(right, op)
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if b == 0:
+                raise RuntimeFault(f"division by zero in {op!r}")
+            # Truncating division (toward zero) and the matching remainder.
+            q = abs(a) // abs(b)
+            if (a >= 0) != (b >= 0):
+                q = -q
+            if op == "/":
+                return q
+            return a - b * q
+        a = _as_int(left, op)
+        b = _as_int(right, op)
+        if op == "=":
+            return a == b
+        if op == "#":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+    raise RuntimeFault(f"cannot evaluate {expr!r}")

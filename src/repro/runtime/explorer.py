@@ -1,0 +1,164 @@
+"""Exhaustive interleaving exploration — a small model checker.
+
+``explore`` walks every reachable interleaving of a program (DFS with
+state memoization), collecting the set of distinct *outcomes*: final
+stores of completed runs, deadlocked states, and depth cutoffs (which
+flag possible divergence).  The paper argues operationally about what
+parallel programs *can* transmit ("it could occur and would be
+considered by CFM"); the explorer makes those possibility claims
+executable — e.g. that Figure 3 is deadlock-free under every schedule
+and always copies the zero-ness of ``x`` into ``y``.
+
+State identity includes the attached monitor (if any), so label
+evolution can be explored exhaustively too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.errors import ExplorationLimitExceeded
+from repro.lang.ast import Program, Stmt
+from repro.runtime.eval import Value
+from repro.runtime.machine import Machine, Pid
+
+#: Outcome statuses.
+COMPLETED = "completed"
+DEADLOCK = "deadlock"
+CUTOFF = "cutoff"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One terminal observation: a status plus the final store."""
+
+    status: str
+    store: Tuple[Tuple[str, Value], ...]
+
+    def value(self, name: str) -> Value:
+        for key, val in self.store:
+            if key == name:
+                return val
+        raise KeyError(name)
+
+    def project(self, names) -> "Outcome":
+        """Restrict the store to ``names`` (an observer's view)."""
+        keep = frozenset(names)
+        return Outcome(self.status, tuple(kv for kv in self.store if kv[0] in keep))
+
+    def __str__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in self.store)
+        return f"{self.status}({items})"
+
+
+class ExplorationResult:
+    """Everything ``explore`` learned."""
+
+    def __init__(
+        self,
+        outcomes: FrozenSet[Outcome],
+        states_visited: int,
+        transitions: int,
+        complete: bool,
+        schedules: Dict[Outcome, Tuple[Pid, ...]],
+    ):
+        self.outcomes = outcomes
+        self.states_visited = states_visited
+        self.transitions = transitions
+        #: True when no budget limit truncated the exploration.
+        self.complete = complete
+        #: One witness schedule per outcome (replayable via FixedScheduler).
+        self.schedules = dict(schedules)
+
+    @property
+    def completed_outcomes(self) -> FrozenSet[Outcome]:
+        return frozenset(o for o in self.outcomes if o.status == COMPLETED)
+
+    @property
+    def deadlock_outcomes(self) -> FrozenSet[Outcome]:
+        return frozenset(o for o in self.outcomes if o.status == DEADLOCK)
+
+    @property
+    def deadlock_free(self) -> bool:
+        """No reachable deadlock (meaningful when ``complete``)."""
+        return not self.deadlock_outcomes
+
+    def final_values(self, name: str) -> Set[Value]:
+        """All values ``name`` can hold at completion."""
+        return {o.value(name) for o in self.completed_outcomes}
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExplorationResult {len(self.outcomes)} outcomes, "
+            f"{self.states_visited} states, complete={self.complete}>"
+        )
+
+
+def explore(
+    subject: Union[Program, Stmt],
+    store: Optional[Dict[str, Value]] = None,
+    monitor=None,
+    max_states: int = 200_000,
+    max_depth: int = 2_000,
+    on_limit: str = "mark",
+) -> ExplorationResult:
+    """Explore every interleaving of ``subject``.
+
+    ``monitor`` (optional) is copied along each branch, so e.g. a
+    :class:`~repro.runtime.taint.TaintMonitor` can be exhaustively
+    checked.  ``max_states`` bounds distinct states; ``max_depth``
+    bounds schedule length (hitting it records a ``cutoff`` outcome —
+    evidence of possible divergence).  ``on_limit`` is ``"mark"``
+    (record incompleteness in the result) or ``"raise"``.
+    """
+    root = Machine(subject, store=store, monitor=monitor)
+    visited: Set[Tuple] = set()
+    outcomes: Set[Outcome] = set()
+    schedules: Dict[Outcome, Tuple[Pid, ...]] = {}
+    states_visited = 0
+    transitions = 0
+    complete = True
+
+    def record(outcome: Outcome, schedule: Tuple[Pid, ...]) -> None:
+        if outcome not in outcomes:
+            outcomes.add(outcome)
+            schedules[outcome] = schedule
+
+    stack: List[Tuple[Machine, Tuple[Pid, ...]]] = [(root, ())]
+    while stack:
+        machine, schedule = stack.pop()
+        snap = machine.snapshot()
+        if snap in visited:
+            continue
+        visited.add(snap)
+        states_visited += 1
+        if states_visited > max_states:
+            if on_limit == "raise":
+                raise ExplorationLimitExceeded(
+                    f"more than {max_states} distinct states"
+                )
+            complete = False
+            break
+        if machine.done:
+            record(Outcome(COMPLETED, tuple(sorted(machine.store.items()))), schedule)
+            continue
+        if machine.deadlocked:
+            record(Outcome(DEADLOCK, tuple(sorted(machine.store.items()))), schedule)
+            continue
+        if len(schedule) >= max_depth:
+            if on_limit == "raise":
+                raise ExplorationLimitExceeded(f"schedule longer than {max_depth}")
+            record(Outcome(CUTOFF, tuple(sorted(machine.store.items()))), schedule)
+            complete = False
+            continue
+        enabled = machine.enabled()
+        for i, pid in enumerate(enabled):
+            # The last branch may reuse the machine instead of copying.
+            branch = machine if i == len(enabled) - 1 else machine.copy()
+            branch.step(pid)
+            transitions += 1
+            stack.append((branch, schedule + (pid,)))
+    return ExplorationResult(
+        frozenset(outcomes), states_visited, transitions, complete, schedules
+    )

@@ -1,0 +1,331 @@
+"""The small-step concurrent machine.
+
+A :class:`Machine` executes a program as a tree of processes.  Each
+scheduler-visible step of a process performs exactly one of the paper's
+indivisible actions:
+
+* an assignment (expression evaluation + store, atomically);
+* a condition evaluation (of an ``if`` or ``while``);
+* a ``wait`` (only enabled while the semaphore is positive);
+* a ``signal``;
+* a ``skip``.
+
+Everything else is *structural* and costs no step: ``begin`` blocks
+unfold into their children, ``cobegin`` spawns child processes (the
+parent blocks until all children finish), and branch-exit markers
+maintain the dynamic label monitor's context stack.
+
+Process identifiers are hierarchical tuples — the root is ``()``, the
+``i``-th branch of a ``cobegin`` spawned by process ``p`` is
+``p + (i,)`` — so identifiers are deterministic regardless of the
+interleaving, which keeps state snapshots canonical for the explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import RuntimeFault, SemaphoreError
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    Cobegin,
+    If,
+    Node,
+    Program,
+    Signal,
+    Skip,
+    Stmt,
+    Wait,
+    While,
+    used_variables,
+    iter_nodes,
+)
+from repro.runtime.eval import Value, evaluate
+
+Pid = Tuple[int, ...]
+
+
+class _PopLocal:
+    """Structural marker: leave the innermost branch context."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<pop-local>"
+
+
+POP_LOCAL = _PopLocal()
+
+ContItem = Union[Stmt, _PopLocal]
+
+
+@dataclass
+class Process:
+    """One process: a continuation plus join bookkeeping."""
+
+    pid: Pid
+    continuation: Tuple[ContItem, ...]
+    status: str = "ready"  # ready | joining | done
+    pending_children: int = 0
+    spawner: Optional[Stmt] = None  # the cobegin that created it, if any
+
+    def head(self) -> Optional[ContItem]:
+        return self.continuation[0] if self.continuation else None
+
+    def key(self) -> Tuple:
+        """Hashable identity for state snapshots."""
+        return (self.pid, self.status, self.pending_children, self.continuation)
+
+    def clone(self) -> "Process":
+        return Process(
+            self.pid, self.continuation, self.status, self.pending_children, self.spawner
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One executed atomic action, for traces."""
+
+    pid: Pid
+    kind: str  # assign | skip | branch | loop | wait | signal
+    stmt: Stmt
+    detail: str
+
+    def __str__(self) -> str:
+        name = "/".join(map(str, self.pid)) or "root"
+        return f"[{name}] {self.kind}: {self.detail}"
+
+
+class Machine:
+    """Executable state of one program run.
+
+    ``subject`` may be a :class:`Program` (its declarations provide the
+    initial store) or a bare statement (every used variable defaults to
+    0 unless ``store`` overrides it).  ``monitor`` is an optional
+    dynamic label monitor (see :mod:`repro.runtime.taint`) notified of
+    every action.
+    """
+
+    def __init__(
+        self,
+        subject: Union[Program, Stmt],
+        store: Optional[Dict[str, Value]] = None,
+        monitor=None,
+    ):
+        if isinstance(subject, Program):
+            from repro.lang.procs import resolve_subject
+
+            subject, _ = resolve_subject(subject)
+            body = subject.body
+            initial: Dict[str, Value] = subject.initial_values()
+        else:
+            body = subject
+            initial = {name: 0 for name in used_variables(subject)}
+        if store:
+            initial.update(store)
+        self.subject = subject
+        self.store: Dict[str, Value] = initial
+        self.monitor = monitor
+        self.processes: Dict[Pid, Process] = {}
+        self.steps_taken = 0
+        root = Process((), (body,))
+        self.processes[root.pid] = root
+        self._normalize(root)
+
+    # -- queries -----------------------------------------------------------
+
+    def enabled(self) -> List[Pid]:
+        """Processes that can take a step right now (sorted for determinism)."""
+        out = []
+        for pid in sorted(self.processes):
+            proc = self.processes[pid]
+            if proc.status != "ready":
+                continue
+            head = proc.head()
+            if isinstance(head, Wait) and self._sem_value(head.sem) <= 0:
+                continue
+            out.append(pid)
+        return out
+
+    @property
+    def done(self) -> bool:
+        """True when the root process has finished."""
+        return self.processes[()].status == "done"
+
+    @property
+    def deadlocked(self) -> bool:
+        """True when unfinished but no process can step.
+
+        With the language's only blocking construct being ``wait``,
+        this means every live process sits on a zero semaphore (or
+        joins children that do).
+        """
+        return not self.done and not self.enabled()
+
+    def blocked_pids(self) -> List[Pid]:
+        """Live, unfinished processes that cannot currently step."""
+        enabled = set(self.enabled())
+        return [
+            pid
+            for pid, proc in sorted(self.processes.items())
+            if proc.status == "ready" and pid not in enabled
+        ]
+
+    def _sem_value(self, name: str) -> int:
+        value = self.store.get(name, 0)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SemaphoreError(f"semaphore {name!r} holds non-integer {value!r}")
+        return value
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, pid: Pid) -> Event:
+        """Execute one atomic action of process ``pid``."""
+        proc = self.processes.get(pid)
+        if proc is None or proc.status != "ready":
+            raise RuntimeFault(f"process {pid!r} cannot step (not ready)")
+        head = proc.head()
+        if head is None:  # normalization keeps this impossible
+            raise RuntimeFault(f"process {pid!r} has an empty continuation")
+
+        if isinstance(head, Assign):
+            if self.monitor is not None:
+                self.monitor.on_assign(pid, head.target, head.expr)
+            value = evaluate(head.expr, self.store)
+            self.store[head.target] = value
+            event = Event(pid, "assign", head, f"{head.target} := {value!r}")
+            self._advance(proc, ())
+        elif isinstance(head, Skip):
+            event = Event(pid, "skip", head, "skip")
+            self._advance(proc, ())
+        elif isinstance(head, If):
+            taken = bool(evaluate(head.cond, self.store))
+            if self.monitor is not None:
+                self.monitor.on_branch(pid, head.cond)
+            branch = head.then_branch if taken else head.else_branch
+            push: Tuple[ContItem, ...] = (POP_LOCAL,)
+            if branch is not None:
+                push = (branch, POP_LOCAL)
+            event = Event(pid, "branch", head, f"if -> {taken}")
+            self._advance(proc, push)
+        elif isinstance(head, While):
+            taken = bool(evaluate(head.cond, self.store))
+            if self.monitor is not None:
+                self.monitor.on_loop_eval(pid, head.cond, taken)
+            if taken:
+                # Keep the while node on the continuation after the body.
+                event = Event(pid, "loop", head, "while -> enter body")
+                proc.continuation = (head.body, POP_LOCAL) + proc.continuation
+                self._normalize(proc)
+            else:
+                event = Event(pid, "loop", head, "while -> exit")
+                self._advance(proc, ())
+        elif isinstance(head, Wait):
+            if self._sem_value(head.sem) <= 0:
+                raise RuntimeFault(f"process {pid!r} is blocked on wait({head.sem})")
+            if self.monitor is not None:
+                self.monitor.on_wait(pid, head.sem)
+            self.store[head.sem] = self._sem_value(head.sem) - 1
+            event = Event(pid, "wait", head, f"wait({head.sem})")
+            self._advance(proc, ())
+        elif isinstance(head, Signal):
+            if self.monitor is not None:
+                self.monitor.on_signal(pid, head.sem)
+            self.store[head.sem] = self._sem_value(head.sem) + 1
+            event = Event(pid, "signal", head, f"signal({head.sem})")
+            self._advance(proc, ())
+        else:
+            raise RuntimeFault(f"unexpected continuation head {head!r}")
+        self.steps_taken += 1
+        return event
+
+    def _advance(self, proc: Process, push: Tuple[ContItem, ...]) -> None:
+        """Drop the current head, push ``push``, renormalize."""
+        proc.continuation = push + proc.continuation[1:]
+        self._normalize(proc)
+
+    def _normalize(self, proc: Process) -> None:
+        """Unfold structural items until an atomic action heads the
+        continuation (or the process finishes / starts joining)."""
+        while True:
+            if not proc.continuation:
+                proc.status = "done"
+                self._notify_parent(proc)
+                return
+            head = proc.continuation[0]
+            if isinstance(head, _PopLocal):
+                if self.monitor is not None:
+                    self.monitor.on_pop_local(proc.pid)
+                proc.continuation = proc.continuation[1:]
+                continue
+            if isinstance(head, Begin):
+                proc.continuation = tuple(head.body) + proc.continuation[1:]
+                continue
+            if isinstance(head, Cobegin):
+                self._spawn(proc, head)
+                return
+            proc.status = "ready"
+            return
+
+    def _spawn(self, proc: Process, cobegin: Cobegin) -> None:
+        proc.continuation = proc.continuation[1:]
+        proc.status = "joining"
+        proc.pending_children = len(cobegin.branches)
+        children: List[Pid] = []
+        for i, branch in enumerate(cobegin.branches):
+            child = Process(proc.pid + (i,), (branch,), spawner=cobegin)
+            self.processes[child.pid] = child
+            children.append(child.pid)
+        if self.monitor is not None:
+            self.monitor.on_spawn(proc.pid, children)
+        for pid in children:
+            self._normalize(self.processes[pid])
+
+    def _notify_parent(self, child: Process) -> None:
+        if not child.pid:
+            return  # the root has no parent
+        parent = self.processes[child.pid[:-1]]
+        if parent.status != "joining":  # pragma: no cover - invariant
+            raise RuntimeFault(f"child {child.pid!r} finished but parent is not joining")
+        parent.pending_children -= 1
+        if self.monitor is not None:
+            self.monitor.on_child_done(parent.pid, child.pid)
+        if parent.pending_children == 0:
+            if self.monitor is not None:
+                self.monitor.on_join(parent.pid)
+            # Children have terminated; drop their table entries so the
+            # snapshot space stays small and pids can be reused by a
+            # later cobegin in the same parent.
+            for pid in list(self.processes):
+                if pid != parent.pid and pid[: len(parent.pid)] == parent.pid:
+                    del self.processes[pid]
+            parent.status = "ready"
+            self._normalize(parent)
+
+    # -- snapshots and copies ---------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        """A hashable canonical state (store + live process table + monitor)."""
+        store_part = tuple(sorted(self.store.items()))
+        proc_part = tuple(
+            self.processes[pid].key() for pid in sorted(self.processes)
+        )
+        monitor_part = self.monitor.snapshot() if self.monitor is not None else None
+        return (store_part, proc_part, monitor_part)
+
+    def copy(self) -> "Machine":
+        """An independent copy (shared AST, copied store/processes/monitor)."""
+        clone = object.__new__(Machine)
+        clone.subject = self.subject
+        clone.store = dict(self.store)
+        clone.monitor = self.monitor.copy() if self.monitor is not None else None
+        clone.processes = {pid: proc.clone() for pid, proc in self.processes.items()}
+        clone.steps_taken = self.steps_taken
+        return clone

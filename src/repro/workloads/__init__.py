@@ -1,0 +1,44 @@
+"""Workloads: the paper's programs, random generators, and named corpora."""
+
+from repro.workloads.paper import (
+    FIGURE3_SOURCE,
+    figure3_program,
+    figure3_sequential_equivalent,
+    figure3_looped,
+    section22_if_fragment,
+    section22_while_fragment,
+    section22_cobegin_fragment,
+    section42_loop,
+    section42_composition,
+    section52_program,
+    paper_programs,
+)
+from repro.workloads.generators import (
+    GeneratorConfig,
+    ProgramGenerator,
+    random_program,
+    random_certified_case,
+    sized_program,
+)
+from repro.workloads.suites import corpus, corpus_names
+
+__all__ = [
+    "FIGURE3_SOURCE",
+    "figure3_program",
+    "figure3_sequential_equivalent",
+    "figure3_looped",
+    "section22_if_fragment",
+    "section22_while_fragment",
+    "section22_cobegin_fragment",
+    "section42_loop",
+    "section42_composition",
+    "section52_program",
+    "paper_programs",
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "random_program",
+    "random_certified_case",
+    "sized_program",
+    "corpus",
+    "corpus_names",
+]

@@ -1,0 +1,222 @@
+"""Litmus programs: a labelled micro-suite for information-flow tools.
+
+Each case is a tiny program with one secret ``h`` and one public sink
+``l`` (plus whatever plumbing it needs), labelled with:
+
+* ``secure`` — whether any execution can actually move information
+  about ``h`` into the observer's view (ground truth, checkable by the
+  explorer);
+* the expected verdict of each mechanism (``denning``, ``cfm``,
+  ``flow_sensitive``) under the binding ``h=high``, everything else
+  ``low``.
+
+The suite doubles as a compatibility matrix (run by
+``tests/workloads/test_litmus.py`` and summarized by
+``benchmarks/bench_litmus.py``) and as a starting corpus for anyone
+extending the analyses.  The expected verdicts encode the paper's
+story: the 1977 baseline misses global flows, CFM catches them but
+rejects some safe programs, the flow-sensitive extension narrows that
+gap without admitting any insecure case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.ast import Stmt
+from repro.lang.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """One labelled micro-program."""
+
+    name: str
+    source: str
+    #: Ground truth: can an observer of the low variables learn about h?
+    secure: bool
+    #: Expected verdicts (True = certifies) with h=high, rest low.
+    denning: bool
+    cfm: bool
+    flow_sensitive: bool
+    #: Values of h worth distinguishing dynamically.
+    probe_values: Tuple[int, int] = (0, 1)
+    #: Fixed low-variable start making the distinction observable
+    #: (security quantifies over all low-equal starts; one bad start
+    #: suffices to label a case insecure).
+    base_store: Optional[Dict[str, int]] = None
+    notes: str = ""
+
+    def statement(self) -> Stmt:
+        return parse_statement(self.source)
+
+
+CASES: List[LitmusCase] = [
+    LitmusCase(
+        name="explicit",
+        source="l := h",
+        secure=False,
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="the direct flow every mechanism must reject",
+    ),
+    LitmusCase(
+        name="explicit-arithmetic",
+        source="l := h * 0 + h - h",
+        secure=True,  # the value is always 0, but no mechanism models values
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="value-insensitivity: h*0+h-h is 0 but classes still flow",
+    ),
+    LitmusCase(
+        name="implicit-both-branches",
+        source="if h = 0 then l := 1 else l := 2",
+        secure=False,
+        denning=False, cfm=False, flow_sensitive=False,
+    ),
+    LitmusCase(
+        name="implicit-one-branch",
+        source="if h = 0 then l := 1",
+        secure=False,
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="the dynamic-monitor blind spot; statics all catch it",
+    ),
+    LitmusCase(
+        name="dead-branch",
+        source="if 1 = 2 then l := h",
+        secure=True,  # the branch can never run
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="all three are path-insensitive: the dead assignment still counts",
+    ),
+    LitmusCase(
+        name="guard-only-reads-low",
+        source="if l2 = 0 then l := 1 else l := h - h + 2",
+        secure=True,
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="h-h is 0 but carries class high under every mechanism",
+    ),
+    LitmusCase(
+        name="sanitize-then-copy",
+        source="begin h := 0; l := h end",
+        secure=True,
+        denning=False, cfm=False, flow_sensitive=True,
+        notes="the paper's section 5.2 example: only flow-sensitivity accepts",
+    ),
+    LitmusCase(
+        name="sanitize-under-low-guard",
+        source="begin if l2 = 0 then h := 0 else h := 1; l := h end",
+        secure=True,
+        denning=False, cfm=False, flow_sensitive=True,
+        notes="both branches scrub h, so the join is still low",
+    ),
+    LitmusCase(
+        name="sanitize-one-branch-only",
+        source="begin if l2 = 0 then h := 0; l := h end",
+        secure=False,  # l2 != 0 leaves the secret in h
+        denning=False, cfm=False, flow_sensitive=False,
+        base_store={"l2": 1},
+    ),
+    LitmusCase(
+        name="sanitize-private",
+        source=(
+            "cobegin begin h2 := 0; l := h2 end || l2 := 1 coend"
+        ),
+        secure=True,
+        denning=False, cfm=False, flow_sensitive=True,
+        notes="no sibling touches h2: flow-sensitivity keeps its precision",
+    ),
+    LitmusCase(
+        name="sanitize-raced",
+        source=(
+            "cobegin begin h2 := 0; l := h2 end || h2 := h coend"
+        ),
+        secure=False,  # the sibling can re-taint h2 between the two actions
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="per-read interference: entry-only widening would wrongly accept",
+    ),
+    LitmusCase(
+        name="loop-termination",
+        source="begin l := 7; while h # 0 do skip; l := 1 end",
+        secure=False,  # divergence freezes l at 7
+        denning=True, cfm=False, flow_sensitive=False,
+        probe_values=(0, 1),
+        notes="the 1977 mechanism disregards global flows",
+    ),
+    LitmusCase(
+        name="loop-counting",
+        source="begin l := 0; while h > 0 do begin h := h - 1; l := l + 1 end end",
+        secure=False,
+        denning=False, cfm=False, flow_sensitive=False,
+        probe_values=(1, 2),
+        notes="the guard is checked locally by every mechanism",
+    ),
+    LitmusCase(
+        name="semaphore-order",
+        source=(
+            "cobegin if h = 0 then signal(s) || begin wait(s); l := 1 end coend"
+        ),
+        secure=False,
+        denning=True, cfm=False, flow_sensitive=False,
+        notes="the paper's synchronization channel in miniature",
+    ),
+    LitmusCase(
+        name="semaphore-protocol-only",
+        source=(
+            "cobegin begin l := 1; signal(s) end"
+            " || begin wait(s); l2 := l end coend"
+        ),
+        secure=True,
+        denning=True, cfm=True, flow_sensitive=True,
+        notes="unconditional signalling carries nothing",
+    ),
+    LitmusCase(
+        name="wait-then-write",
+        source="begin wait(s); l := 1 end",
+        secure=True,  # s is low here; nothing high is involved
+        denning=True, cfm=True, flow_sensitive=True,
+        notes="sequencing after a LOW wait is fine",
+    ),
+    LitmusCase(
+        name="high-branch-high-sink",
+        source="if h = 0 then h2 := 1 else h2 := 2",
+        secure=True,
+        denning=True, cfm=True, flow_sensitive=True,
+        notes="flows within the high world are always acceptable",
+    ),
+    LitmusCase(
+        name="race-on-low",
+        source="cobegin l := 1 || l := 2 coend",
+        secure=True,
+        denning=True, cfm=True, flow_sensitive=True,
+        notes="scheduler nondeterminism is not an information flow from h",
+    ),
+    LitmusCase(
+        name="cross-process-relay",
+        source="cobegin l2 := h || l := l2 coend",
+        secure=False,  # one interleaving relays h into l via l2
+        denning=False, cfm=False, flow_sensitive=False,
+        notes="interference: l2 := h can run before l := l2",
+    ),
+]
+
+#: Binding classes per variable name used by the cases.
+HIGH_NAMES = frozenset({"h", "h2"})
+
+
+def binding_for(case: LitmusCase, scheme):
+    """``h``-ish names high, everything else low."""
+    from repro.core.binding import StaticBinding
+    from repro.lang.ast import used_variables
+
+    stmt = case.statement()
+    classes = {
+        name: (scheme.top if name in HIGH_NAMES else scheme.bottom)
+        for name in used_variables(stmt)
+    }
+    return stmt, StaticBinding(scheme, classes)
+
+
+def by_name(name: str) -> LitmusCase:
+    for case in CASES:
+        if case.name == name:
+            return case
+    raise KeyError(name)

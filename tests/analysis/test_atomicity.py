@@ -1,0 +1,90 @@
+"""The section 2.0 single-shared-reference condition."""
+
+from repro.analysis.atomicity import check_atomicity, shared_variables
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program
+
+
+def test_no_concurrency_nothing_shared():
+    report = check_atomicity(parse_statement("begin x := y + y; y := x end"))
+    assert report.shared == frozenset()
+    assert report.satisfied
+
+
+def test_shared_requires_a_writer():
+    # Both branches only read r: not shared.
+    s = parse_statement("cobegin a := r || b := r coend")
+    assert shared_variables(s) == frozenset()
+    # One branch writes r: shared.
+    s2 = parse_statement("cobegin a := r || r := 1 coend")
+    assert shared_variables(s2) == frozenset({"r"})
+
+
+def test_single_shared_reference_ok():
+    s = parse_statement("cobegin x := r + 1 || r := 2 coend")
+    report = check_atomicity(s)
+    assert report.shared == {"r"}
+    assert report.satisfied
+
+
+def test_double_read_violates():
+    s = parse_statement("cobegin x := r + r || r := 2 coend")
+    report = check_atomicity(s)
+    assert not report.satisfied
+    (violation,) = report.violations
+    assert violation.references == 2
+    assert violation.variables == ("r",)
+    assert "2 references" in str(violation)
+
+
+def test_read_write_same_shared_violates():
+    # r := r + 1 makes two shared references (read + write).
+    s = parse_statement("cobegin r := r + 1 || x := r coend")
+    report = check_atomicity(s)
+    assert not report.satisfied
+
+
+def test_guard_references_counted():
+    s = parse_statement("cobegin if r = r then x := 1 || r := 2 coend")
+    report = check_atomicity(s)
+    assert not report.satisfied
+    s2 = parse_statement("cobegin if r = 0 then x := 1 || r := 2 coend")
+    assert check_atomicity(s2).satisfied
+
+
+def test_two_distinct_shared_variables_violate():
+    s = parse_statement(
+        "cobegin x := a + b || begin a := 1; b := 2 end coend"
+    )
+    report = check_atomicity(s)
+    assert report.shared == {"a", "b"}
+    assert not report.satisfied
+    assert report.violations[0].variables == ("a", "b")
+
+
+def test_semaphores_exempt():
+    s = parse_statement(
+        "cobegin begin wait(s); wait(s) end || signal(s) coend"
+    )
+    # s is 'modified' by both branches but wait/signal are indivisible
+    # by definition; only data references count.
+    assert check_atomicity(s).satisfied
+
+
+def test_figure3_satisfies_the_condition():
+    """Figure 3 is realistic: it runs correctly even on hardware that
+    only guarantees memory-reference atomicity."""
+    report = check_atomicity(figure3_program())
+    assert report.shared <= {"m", "y", "x"}
+    assert report.satisfied, [str(v) for v in report.violations]
+
+
+def test_nested_cobegin_sharing():
+    s = parse_statement(
+        "cobegin cobegin x := r || r := 1 coend || y := 2 coend"
+    )
+    assert "r" in shared_variables(s)
+
+
+def test_report_repr():
+    assert "satisfied" in repr(check_atomicity(parse_statement("x := 1")))

@@ -1,0 +1,57 @@
+"""Deadlock analysis."""
+
+from repro.analysis.deadlock import find_deadlock, replay
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program, section22_cobegin_fragment
+
+
+def test_figure3_is_deadlock_free():
+    for xv in (0, 2):
+        report = find_deadlock(figure3_program(), store={"x": xv})
+        assert report.complete
+        assert report.deadlock_free
+        assert report.witness is None
+
+
+def test_cross_wait_deadlock_found():
+    s = parse_statement(
+        "cobegin begin wait(a); signal(b) end || begin wait(b); signal(a) end coend"
+    )
+    report = find_deadlock(s)
+    assert not report.deadlock_free
+    assert set(report.witness.blocked) == {(0,), (1,)}
+    assert "blocked" in str(report.witness)
+
+
+def test_conditional_deadlock_found():
+    s = section22_cobegin_fragment()  # deadlocks iff x != 0
+    report = find_deadlock(s, store={"x": 1})
+    assert not report.deadlock_free
+    report2 = find_deadlock(section22_cobegin_fragment(), store={"x": 0})
+    assert report2.deadlock_free
+
+
+def test_witness_schedule_replays_into_the_deadlock():
+    s = parse_statement(
+        "cobegin begin x := 1; wait(go) end || begin y := 2; wait(go) end coend"
+    )
+    report = find_deadlock(s)
+    assert not report.deadlock_free
+    machine = replay(s, report.witness.schedule)
+    assert machine.deadlocked
+    assert tuple(sorted(machine.store.items())) == report.witness.store
+
+
+def test_racy_deadlock_detected_among_many_outcomes():
+    # One signal, two waiters: exactly one waiter is always starved.
+    s = parse_statement(
+        "cobegin signal(s) || begin wait(s); a := 1 end || begin wait(s); b := 1 end coend"
+    )
+    report = find_deadlock(s)
+    assert not report.deadlock_free
+    assert len(report.witness.blocked) == 1
+
+
+def test_report_repr():
+    report = find_deadlock(parse_statement("x := 1"))
+    assert "deadlock-free" in repr(report)

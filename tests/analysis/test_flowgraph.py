@@ -1,0 +1,65 @@
+"""The variable flow relation."""
+
+from repro.analysis.flowgraph import flow_graph
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program
+
+
+def test_direct_assignment_edge(scheme):
+    g = flow_graph(parse_statement("y := x"), scheme)
+    assert g.can_flow("x", "y")
+    assert not g.can_flow("y", "x")
+    assert "assignment" in g.why("x", "y")
+
+
+def test_transitive_reachability(scheme):
+    g = flow_graph(parse_statement("begin b := a; c := b end"), scheme)
+    assert g.can_flow("a", "c")
+    assert ("a", "c") not in g.direct_edges()  # only via b
+
+
+def test_guard_flows(scheme):
+    g = flow_graph(parse_statement("if h = 0 then y := 1"), scheme)
+    assert g.can_flow("h", "y")
+    assert "alternation" in g.why("h", "y")
+
+
+def test_loop_termination_flow(scheme):
+    g = flow_graph(
+        parse_statement("begin while h > 0 do h := h - 1; z := 1 end"), scheme
+    )
+    assert g.can_flow("h", "z")
+
+
+def test_synchronization_flow(scheme):
+    g = flow_graph(parse_statement("begin wait(s); y := 1 end"), scheme)
+    assert g.can_flow("s", "y")
+
+
+def test_no_backwards_flow(scheme):
+    g = flow_graph(parse_statement("begin y := 1; wait(s) end"), scheme)
+    assert not g.can_flow("s", "y")
+
+
+def test_figure3_chain(scheme):
+    g = flow_graph(figure3_program(), scheme)
+    # Section 4.3's chain: x -> modify -> m -> y.
+    assert g.can_flow("x", "modify")
+    assert g.can_flow("modify", "m")
+    assert g.can_flow("m", "y")
+    assert g.can_flow("x", "y")
+
+
+def test_constant_only_program_has_no_edges(scheme):
+    g = flow_graph(parse_statement("begin x := 1; y := 2 end"), scheme)
+    assert g.direct_edges() == []
+
+
+def test_flows_to_excludes_unreachable(scheme):
+    g = flow_graph(parse_statement("begin y := x; a := b end"), scheme)
+    assert g.flows_to("x") == frozenset({"y"})
+
+
+def test_repr(scheme):
+    g = flow_graph(parse_statement("y := x"), scheme)
+    assert "FlowGraph" in repr(g)

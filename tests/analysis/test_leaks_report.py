@@ -1,0 +1,53 @@
+"""Leak-witness search and full reports."""
+
+from repro.analysis.leaks import find_leak
+from repro.analysis.report import full_report
+from repro.core.binding import StaticBinding
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program, section52_program
+
+
+def test_leak_found_for_direct_flow(scheme):
+    s = parse_statement("l := h")
+    b = StaticBinding(scheme, {"l": "low", "h": "high"})
+    witness = find_leak(s, b, "low", values=(0, 1))
+    assert witness is not None
+    assert witness.variable == "h"
+    assert "distinguishes" in str(witness)
+
+
+def test_leak_found_for_figure3(scheme, fig3, fig3_binding_leaky):
+    witness = find_leak(fig3, fig3_binding_leaky, "low", values=(0, 1))
+    assert witness is not None
+    assert witness.variable == "x"
+
+
+def test_no_leak_for_section52(scheme):
+    """CFM rejects begin x := 0; y := x end, but no run actually leaks —
+    the paper's point about CFM's conservatism."""
+    s = section52_program()
+    b = StaticBinding(scheme, {"x": "high", "y": "low"})
+    assert find_leak(s, b, "low", values=(0, 1, 5)) is None
+
+
+def test_no_leak_for_certified_program(scheme):
+    s = parse_statement("begin l := 1; h := l end")
+    b = StaticBinding(scheme, {"l": "low", "h": "high"})
+    assert find_leak(s, b, "low", values=(0, 1)) is None
+
+
+def test_full_report_sections(scheme, fig3, fig3_binding_leaky):
+    text = full_report(fig3, fig3_binding_leaky, include_source=True)
+    assert "REJECTED" in text
+    assert "Denning-Denning certification: CERTIFIED" in text
+    assert "the paper's motivating gap" in text
+    assert "flow relation" in text
+    assert "cobegin" in text  # the source listing
+
+
+def test_full_report_without_flows(scheme):
+    s = parse_statement("x := 1")
+    b = StaticBinding(scheme, {"x": "low"})
+    text = full_report(s, b, include_flows=False, denning_mode=None)
+    assert "flow relation" not in text
+    assert "Denning" not in text

@@ -1,0 +1,55 @@
+"""Program metrics."""
+
+from repro.analysis.metrics import measure
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program
+
+
+def test_counts_each_form():
+    m = measure(parse_statement(
+        """
+        begin
+          x := 1;
+          if x = 0 then skip else y := 1;
+          while y < 3 do y := y + 1;
+          cobegin wait(s) || signal(s) coend
+        end
+        """
+    ))
+    assert m.assignments == 3
+    assert m.ifs == 1
+    assert m.whiles == 1
+    assert m.begins == 1
+    assert m.cobegins == 1
+    assert m.waits == 1
+    assert m.signals == 1
+    assert m.skips == 1
+    assert m.statements == 10
+
+
+def test_flags():
+    seq = measure(parse_statement("x := 1"))
+    assert not seq.has_concurrency and not seq.has_global_flows
+    loop = measure(parse_statement("while x > 0 do x := x - 1"))
+    assert loop.has_global_flows and not loop.has_concurrency
+    con = measure(parse_statement("cobegin x := 1 || y := 2 coend"))
+    assert con.has_concurrency and not con.has_global_flows
+
+
+def test_figure3_metrics():
+    m = measure(figure3_program())
+    assert m.has_concurrency
+    assert m.max_cobegin_width == 3
+    assert m.waits == 5
+    assert m.signals == 5
+    assert m.variables == 7
+
+
+def test_nesting_and_width():
+    m = measure(parse_statement("if a = 0 then if b = 0 then if c = 0 then x := 1"))
+    assert m.max_nesting == 4
+
+
+def test_str_is_informative():
+    text = str(measure(parse_statement("x := 1")))
+    assert "1 statements" in text

@@ -1,0 +1,97 @@
+"""Figure 2-style tables and JSON serialization."""
+
+import json
+
+from repro.analysis.tables import (
+    certification_table,
+    denning_report_to_dict,
+    fs_report_to_dict,
+    report_to_dict,
+)
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.core.flowsensitive import certify_flow_sensitive
+from repro.lang.parser import parse_statement
+from repro.lattice.product import military
+from repro.workloads.paper import figure3_program
+
+
+def test_table_has_row_per_statement(scheme):
+    stmt = parse_statement("begin wait(s); y := 1 end")
+    report = certify(stmt, StaticBinding(scheme, {"s": "high", "y": "low"}))
+    table = certification_table(report)
+    assert "wait(s)" in table
+    assert "y := 1" in table
+    assert "mod(S)" in table and "flow(S)" in table
+    assert "FAIL" in table  # the composition condition fails
+
+
+def test_table_marks_nil_flow(scheme):
+    stmt = parse_statement("x := 1")
+    report = certify(stmt, StaticBinding(scheme, {"x": "low"}))
+    assert "nil" in certification_table(report)
+
+
+def test_table_for_figure3(scheme, fig3_binding_leaky):
+    report = certify(figure3_program(), fig3_binding_leaky)
+    table = certification_table(report)
+    assert table.count("\n") > 20  # one row per statement
+    assert "cobegin" in table
+
+
+def test_cfm_json_round_trips(scheme):
+    stmt = parse_statement("y := x")
+    report = certify(stmt, StaticBinding(scheme, {"x": "high", "y": "low"}))
+    data = report_to_dict(report)
+    text = json.dumps(data)  # must be serializable
+    parsed = json.loads(text)
+    assert parsed["mechanism"] == "cfm"
+    assert parsed["certified"] is False
+    assert parsed["checks"][0]["lhs"] == "high"
+    assert parsed["checks"][0]["passed"] is False
+
+
+def test_json_handles_product_classes():
+    scheme = military(("n",))
+    stmt = parse_statement("y := x")
+    hi = ("secret", frozenset({"n"}))
+    lo = ("unclassified", frozenset())
+    report = certify(stmt, StaticBinding(scheme, {"x": hi, "y": lo}))
+    data = report_to_dict(report)
+    json.dumps(data)
+    assert data["checks"][0]["lhs"] == ["secret", ["n"]]
+
+
+def test_denning_json(scheme):
+    stmt = parse_statement("cobegin x := 1 || wait(s) coend")
+    report = certify_denning(stmt, StaticBinding(scheme, {"x": "low", "s": "low"}))
+    data = denning_report_to_dict(report)
+    json.dumps(data)
+    assert data["mechanism"] == "denning"
+    assert len(data["unsupported"]) == 2
+
+
+def test_fs_json(scheme):
+    stmt = parse_statement("y := x")
+    report = certify_flow_sensitive(
+        stmt, StaticBinding(scheme, {"x": "high", "y": "low"})
+    )
+    data = fs_report_to_dict(report)
+    json.dumps(data)
+    assert data["certified"] is False
+    assert data["violations"][0]["variable"] == "y"
+    assert data["final_state"]["y"] == "high"
+
+
+def test_cli_table_and_json(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "p.rl"
+    path.write_text("var x, y : integer; y := x")
+    main(["certify", str(path), "--bind", "x=high", "--bind", "y=low", "--table"])
+    out = capsys.readouterr().out
+    assert "mod(S)" in out and "REJECTED" in out
+    main(["certify", str(path), "--bind", "x=high", "--bind", "y=low", "--json"])
+    data = json.loads(capsys.readouterr().out)
+    assert data["certified"] is False

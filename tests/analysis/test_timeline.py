@@ -1,0 +1,60 @@
+"""Timeline rendering."""
+
+from repro.analysis.timeline import context_switches, lane_summary, render_timeline
+from repro.lang.parser import parse_statement
+from repro.runtime.executor import run
+from repro.runtime.scheduler import RandomScheduler
+
+
+def traced(source, **kwargs):
+    return run(parse_statement(source), collect_trace=True, **kwargs)
+
+
+def test_single_process_timeline():
+    result = traced("begin x := 1; y := 2 end")
+    text = render_timeline(result.trace)
+    assert "root" in text
+    assert "x := 1" in text and "y := 2" in text
+
+
+def test_concurrent_lanes():
+    result = traced(
+        "cobegin x := 1 || y := 2 coend", scheduler=RandomScheduler(1)
+    )
+    text = render_timeline(result.trace)
+    header = text.splitlines()[0]
+    assert "0" in header and "1" in header
+
+
+def test_empty_trace():
+    assert render_timeline([]) == "(empty trace)"
+
+
+def test_long_details_truncated():
+    result = traced("verylongvariablename := 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9")
+    text = render_timeline(result.trace, width=12)
+    assert "..." in text
+
+
+def test_lane_summary():
+    result = traced("cobegin begin a := 1; a := 2 end || b := 1 coend")
+    counts = lane_summary(result.trace)
+    assert counts["0"] == 2
+    assert counts["1"] == 1
+
+
+def test_context_switches():
+    result = traced("begin x := 1; y := 2; z := 3 end")
+    assert context_switches(result.trace) == 0
+    result2 = traced("cobegin x := 1 || y := 1 coend")
+    assert context_switches(result2.trace) == 1
+
+
+def test_figure3_forced_alternation():
+    from repro.workloads.paper import figure3_program
+
+    result = run(figure3_program(), store={"x": 0}, collect_trace=True)
+    # Three processes all appear; the protocol forces many switches.
+    counts = lane_summary(result.trace)
+    assert set(counts) == {"0", "1", "2"}
+    assert context_switches(result.trace) >= 4

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.finite import diamond
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import military
+from repro.workloads.paper import (
+    figure3_program,
+    section22_cobegin_fragment,
+    section22_if_fragment,
+    section22_while_fragment,
+    section42_composition,
+    section42_loop,
+    section52_program,
+)
+
+
+@pytest.fixture
+def scheme():
+    """The canonical two-level scheme (low < high)."""
+    return two_level()
+
+
+@pytest.fixture
+def levels():
+    return four_level()
+
+
+@pytest.fixture
+def diamond_scheme():
+    return diamond()
+
+
+@pytest.fixture
+def military_scheme():
+    return military()
+
+
+@pytest.fixture(params=["two-level", "four-level", "diamond", "powerset"])
+def any_scheme(request):
+    """Parametrized over four structurally different schemes."""
+    if request.param == "two-level":
+        return two_level()
+    if request.param == "four-level":
+        return four_level()
+    if request.param == "diamond":
+        return diamond()
+    return PowersetLattice(["a", "b"], name="powerset-ab")
+
+
+@pytest.fixture
+def fig3():
+    return figure3_program()
+
+
+@pytest.fixture
+def fig3_binding_leaky(scheme):
+    """x high, everything else low: the binding Figure 3 must violate."""
+    names = ["x", "y", "m", "modify", "modified", "read", "done"]
+    return StaticBinding(scheme, {n: ("high" if n == "x" else "low") for n in names})
+
+
+@pytest.fixture
+def fig3_binding_safe(scheme):
+    """Everything high: trivially certifiable."""
+    names = ["x", "y", "m", "modify", "modified", "read", "done"]
+    return StaticBinding(scheme, {n: "high" for n in names})
+
+
+@pytest.fixture
+def paper_fragments():
+    return {
+        "s22-if": section22_if_fragment(),
+        "s22-while": section22_while_fragment(),
+        "s22-cobegin": section22_cobegin_fragment(),
+        "s42-loop": section42_loop(),
+        "s42-composition": section42_composition(),
+        "s52-begin": section52_program(),
+    }

@@ -1,0 +1,115 @@
+"""Static bindings (Definition 3)."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.errors import BindingError, ElementError
+from repro.lang.parser import parse_expression, parse_statement
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.extended import NIL
+
+
+def test_variable_lookup(scheme):
+    b = StaticBinding(scheme, {"x": "high", "y": "low"})
+    assert b.of_var("x") == "high"
+    assert b.of_var("y") == "low"
+
+
+def test_unbound_variable_raises(scheme):
+    b = StaticBinding(scheme, {"x": "high"})
+    with pytest.raises(BindingError):
+        b.of_var("y")
+
+
+def test_default_class(scheme):
+    b = StaticBinding(scheme, {"x": "high"}, default="low")
+    assert b.of_var("anything") == "low"
+
+
+def test_constants_are_low(scheme):
+    b = StaticBinding(scheme, {})
+    assert b.of_expr(parse_expression("42")) == "low"
+    assert b.of_expr(parse_expression("true")) == "low"
+
+
+def test_expression_binding_joins_operands(scheme):
+    b = StaticBinding(scheme, {"h": "high", "l": "low"})
+    assert b.of_expr(parse_expression("h + l")) == "high"
+    assert b.of_expr(parse_expression("l + l")) == "low"
+    assert b.of_expr(parse_expression("l + 3")) == "low"
+
+
+def test_unary_op_binding(scheme):
+    b = StaticBinding(scheme, {"h": "high"})
+    assert b.of_expr(parse_expression("-h")) == "high"
+    assert b.of_expr(parse_expression("not h = 0")) == "high"
+
+
+def test_four_level_expression():
+    s = four_level()
+    b = StaticBinding(s, {"a": "confidential", "b": "secret"})
+    assert b.of_expr(parse_expression("a * b")) == "secret"
+
+
+def test_invalid_class_rejected(scheme):
+    with pytest.raises(ElementError):
+        StaticBinding(scheme, {"x": "medium"})
+
+
+def test_invalid_name_rejected(scheme):
+    with pytest.raises(BindingError):
+        StaticBinding(scheme, {"": "low"})
+
+
+def test_extended_lattice_attached(scheme):
+    b = StaticBinding(scheme, {})
+    assert b.extended.base is scheme
+    assert b.leq(NIL, "low")
+
+
+def test_with_bindings(scheme):
+    b = StaticBinding(scheme, {"x": "low"})
+    b2 = b.with_bindings({"x": "high", "y": "low"})
+    assert b.of_var("x") == "low"  # original untouched
+    assert b2.of_var("x") == "high"
+    assert b2.of_var("y") == "low"
+
+
+def test_restricted_to(scheme):
+    b = StaticBinding(scheme, {"x": "low", "y": "high"})
+    b2 = b.restricted_to(["x"])
+    assert "y" not in b2
+    assert "x" in b2
+
+
+def test_covers(scheme):
+    b = StaticBinding(scheme, {"x": "low", "y": "low"})
+    assert b.covers(parse_statement("x := y"))
+    assert not b.covers(parse_statement("x := z"))
+
+
+def test_require_covers_names_missing(scheme):
+    b = StaticBinding(scheme, {"x": "low"})
+    with pytest.raises(BindingError) as exc:
+        b.require_covers(parse_statement("begin x := z; wait(q) end"))
+    assert "q" in str(exc.value) and "z" in str(exc.value)
+
+
+def test_default_always_covers(scheme):
+    b = StaticBinding(scheme, {}, default="high")
+    b.require_covers(parse_statement("x := y"))  # must not raise
+
+
+def test_equality_and_hash(scheme):
+    a = StaticBinding(scheme, {"x": "low"})
+    b = StaticBinding(scheme, {"x": "low"})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != StaticBinding(scheme, {"x": "high"})
+
+
+def test_as_dict_is_copy(scheme):
+    b = StaticBinding(scheme, {"x": "low"})
+    d = b.as_dict()
+    d["x"] = "high"
+    assert b.of_var("x") == "low"

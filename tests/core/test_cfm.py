@@ -1,0 +1,309 @@
+"""The Concurrent Flow Mechanism — every Figure 2 row plus the paper examples."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.errors import BindingError
+from repro.lang.parser import parse_statement
+from repro.lattice.extended import NIL
+from repro.workloads.paper import (
+    section22_cobegin_fragment,
+    section22_if_fragment,
+    section22_while_fragment,
+    section42_composition,
+    section42_loop,
+    section52_program,
+)
+
+
+def bind(scheme, **classes):
+    return StaticBinding(scheme, classes)
+
+
+# ----------------------------------------------------------------------
+# Assignment: cert = sbind(e) <= sbind(x); mod = sbind(x); flow = nil.
+# ----------------------------------------------------------------------
+
+
+def test_assignment_up_is_certified(scheme):
+    s = parse_statement("x := y")
+    assert certify(s, bind(scheme, x="high", y="low")).certified
+
+
+def test_assignment_down_is_rejected(scheme):
+    s = parse_statement("x := y")
+    report = certify(s, bind(scheme, x="low", y="high"))
+    assert not report.certified
+    assert report.violations[0].rule == "assignment"
+
+
+def test_assignment_constant_always_certified(scheme):
+    s = parse_statement("x := 42")
+    assert certify(s, bind(scheme, x="low")).certified
+
+
+def test_assignment_mod_and_flow(scheme):
+    s = parse_statement("x := y")
+    report = certify(s, bind(scheme, x="high", y="low"))
+    assert report.analysis.mod(s) == "high"
+    assert report.analysis.flow(s) is NIL
+    assert report.analysis.modified_vars(s) == frozenset({"x"})
+
+
+def test_assignment_joins_expression_operands(scheme):
+    s = parse_statement("x := l + h")
+    assert not certify(s, bind(scheme, x="low", l="low", h="high")).certified
+    assert certify(s, bind(scheme, x="high", l="low", h="high")).certified
+
+
+# ----------------------------------------------------------------------
+# Alternation: cert = certs and sbind(e) <= mod(S); flow joins branches + e.
+# ----------------------------------------------------------------------
+
+
+def test_if_local_flow_rejected(scheme):
+    s = section22_if_fragment()  # if x = 0 then y := 1 else y := 0
+    assert not certify(s, bind(scheme, x="high", y="low")).certified
+    assert certify(s, bind(scheme, x="high", y="high")).certified
+    assert certify(s, bind(scheme, x="low", y="low")).certified
+
+
+def test_if_mod_is_glb_of_branches(scheme):
+    s = parse_statement("if c = 0 then x := 1 else y := 2")
+    report = certify(s, bind(scheme, c="low", x="high", y="low"))
+    assert report.analysis.mod(s) == "low"
+    assert report.analysis.modified_vars(s) == frozenset({"x", "y"})
+
+
+def test_if_without_else_constrains_only_then(scheme):
+    s = parse_statement("if h = 0 then x := 1")
+    assert certify(s, bind(scheme, h="high", x="high")).certified
+    assert not certify(s, bind(scheme, h="high", x="low")).certified
+
+
+def test_if_flow_nil_when_branches_pure(scheme):
+    s = parse_statement("if c = 0 then x := 1 else y := 2")
+    report = certify(s, bind(scheme, c="high", x="high", y="high"))
+    assert report.analysis.flow(s) is NIL
+
+
+def test_if_flow_includes_guard_when_branch_flows(scheme):
+    s = parse_statement("if c = 0 then wait(sem)")
+    report = certify(s, bind(scheme, c="high", sem="high"))
+    assert report.analysis.flow(s) == "high"
+
+
+def test_if_guard_into_empty_mod_is_fine(scheme):
+    s = parse_statement("if h = 0 then skip")
+    assert certify(s, bind(scheme, h="high")).certified
+
+
+# ----------------------------------------------------------------------
+# Iteration: cert = cert(S1) and flow(S) <= mod(S); flow = flow(S1) + e.
+# ----------------------------------------------------------------------
+
+
+def test_while_guard_flows_into_body_targets(scheme):
+    s = parse_statement("while h > 0 do begin h := h - 1; l := l + 1 end")
+    assert not certify(s, bind(scheme, h="high", l="low")).certified
+    assert certify(s, bind(scheme, h="high", l="high")).certified
+
+
+def test_while_flow_is_never_nil(scheme):
+    s = parse_statement("while c > 0 do c := c - 1")
+    report = certify(s, bind(scheme, c="low"))
+    assert report.analysis.flow(s) == "low"
+    assert report.analysis.flow(s) is not NIL
+
+
+def test_section42_loop_requires_sem_below_y(scheme):
+    s = section42_loop()  # while true do begin y := y + 1; wait(sem) end
+    assert not certify(s, bind(scheme, y="low", sem="high")).certified
+    assert certify(s, bind(scheme, y="high", sem="high")).certified
+    assert certify(s, bind(scheme, y="high", sem="low")).certified
+
+
+def test_section22_while_global_flow(scheme):
+    # begin z := 0; while x # 0 do y := y + 1; z := 1 end
+    s = section22_while_fragment()
+    assert not certify(s, bind(scheme, x="high", y="high", z="low")).certified
+    assert certify(s, bind(scheme, x="high", y="high", z="high")).certified
+    # The Dennings' mechanism would accept z=low; CFM must not, because
+    # examining z reveals whether the loop terminated.
+
+
+def test_nested_while(scheme):
+    s = parse_statement("while a > 0 do while b > 0 do c := 1")
+    assert not certify(s, bind(scheme, a="high", b="low", c="low")).certified
+    assert certify(s, bind(scheme, a="high", b="high", c="high")).certified
+
+
+# ----------------------------------------------------------------------
+# Composition: flow(Sj) <= mod(Si) for j < i.
+# ----------------------------------------------------------------------
+
+
+def test_section42_composition(scheme):
+    s = section42_composition()  # begin wait(sem); y := 1 end
+    assert not certify(s, bind(scheme, sem="high", y="low")).certified
+    assert certify(s, bind(scheme, sem="low", y="high")).certified
+    assert certify(s, bind(scheme, sem="low", y="low")).certified
+
+
+def test_composition_flow_does_not_act_backwards(scheme):
+    s = parse_statement("begin y := 1; wait(sem) end")
+    assert certify(s, bind(scheme, sem="high", y="low")).certified
+
+
+def test_composition_flow_accumulates(scheme):
+    s = parse_statement("begin wait(a); x := 1; wait(b); y := 1 end")
+    b_ = bind(scheme, a="high", b="low", x="high", y="low")
+    # y := 1 follows wait(a) (high flow): rejected.
+    assert not certify(s, b_).certified
+    b2 = bind(scheme, a="low", b="high", x="low", y="high")
+    assert certify(s, b2).certified
+
+
+def test_composition_check_covers_all_later_statements(scheme):
+    s = parse_statement("begin wait(sem); x := 1; y := 2; z := 3 end")
+    b_ = bind(scheme, sem="high", x="high", y="high", z="low")
+    report = certify(s, b_)
+    assert not report.certified
+    assert any(v.stmt.loc.column for v in report.violations) or report.violations
+
+
+def test_begin_flow_is_join_of_children(scheme):
+    s = parse_statement("begin wait(a); wait(b) end")
+    report = certify(s, bind(scheme, a="low", b="high"))
+    assert report.analysis.flow(s) == "high"
+
+
+# ----------------------------------------------------------------------
+# Concurrency: cert(S) = all branches certified; no cross-branch checks.
+# ----------------------------------------------------------------------
+
+
+def test_cobegin_requires_each_branch(scheme):
+    s = parse_statement("cobegin x := h || y := 1 coend")
+    assert not certify(s, bind(scheme, x="low", h="high", y="low")).certified
+    assert certify(s, bind(scheme, x="high", h="high", y="low")).certified
+
+
+def test_cobegin_no_cross_branch_sequencing_check(scheme):
+    # wait(high-sem) in one branch does not constrain a *parallel* branch.
+    s = parse_statement("cobegin wait(sem) || y := 1 coend")
+    assert certify(s, bind(scheme, sem="high", y="low")).certified
+
+
+def test_section22_cobegin_channel(scheme):
+    s = section22_cobegin_fragment()
+    # cobegin if x = 0 then signal(sem) || begin wait(sem); y := 0 end coend
+    assert not certify(s, bind(scheme, x="high", sem="low", y="low")).certified
+    assert not certify(s, bind(scheme, x="high", sem="high", y="low")).certified
+    assert certify(s, bind(scheme, x="high", sem="high", y="high")).certified
+    assert certify(s, bind(scheme, x="low", sem="low", y="low")).certified
+
+
+def test_cobegin_flow_joins_branches(scheme):
+    s = parse_statement("cobegin wait(a) || x := 1 coend")
+    report = certify(s, bind(scheme, a="high", x="low"))
+    assert report.analysis.flow(s) == "high"
+
+
+# ----------------------------------------------------------------------
+# Semaphore statements.
+# ----------------------------------------------------------------------
+
+
+def test_wait_always_certified_alone(scheme):
+    s = parse_statement("wait(sem)")
+    report = certify(s, bind(scheme, sem="high"))
+    assert report.certified
+    assert report.analysis.flow(s) == "high"
+    assert report.analysis.mod(s) == "high"
+
+
+def test_signal_always_certified(scheme):
+    s = parse_statement("signal(sem)")
+    report = certify(s, bind(scheme, sem="high"))
+    assert report.certified
+    assert report.analysis.flow(s) is NIL
+
+
+def test_signal_under_high_guard_needs_high_sem(scheme):
+    s = parse_statement("if h = 0 then signal(sem)")
+    assert not certify(s, bind(scheme, h="high", sem="low")).certified
+    assert certify(s, bind(scheme, h="high", sem="high")).certified
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 and misc.
+# ----------------------------------------------------------------------
+
+
+def test_section52_rejected_despite_being_safe(scheme):
+    s = section52_program()  # begin x := 0; y := x end
+    assert not certify(s, bind(scheme, x="high", y="low")).certified
+
+
+def test_skip_certifies_and_is_neutral(scheme):
+    s = parse_statement("skip")
+    report = certify(s, bind(scheme))
+    assert report.certified
+    assert report.analysis.flow(s) is NIL
+    assert report.analysis.mod(s) == scheme.top
+
+
+def test_missing_binding_raises(scheme):
+    with pytest.raises(BindingError):
+        certify(parse_statement("x := y"), bind(scheme, x="low"))
+
+
+def test_report_summary_mentions_failures(scheme):
+    report = certify(parse_statement("x := h"), bind(scheme, x="low", h="high"))
+    text = report.summary()
+    assert "REJECTED" in text
+    assert "sbind(e) <= sbind(x)" in text
+
+
+def test_checks_record_passing_conditions_too(scheme):
+    report = certify(parse_statement("x := y"), bind(scheme, x="high", y="low"))
+    assert len(report.checks) == 1
+    assert report.checks[0].passed
+
+
+def test_diamond_incomparable_rejection(diamond_scheme):
+    s = parse_statement("x := y")
+    b = StaticBinding(diamond_scheme, {"x": "left", "y": "right"})
+    assert not certify(s, b).certified
+    b2 = StaticBinding(diamond_scheme, {"x": "high", "y": "right"})
+    assert certify(s, b2).certified
+
+
+def test_military_product_scheme(military_scheme):
+    s = parse_statement("x := y")
+    lo = ("unclassified", frozenset())
+    hi = ("secret", frozenset({"nuclear"}))
+    assert certify(s, StaticBinding(military_scheme, {"x": hi, "y": lo})).certified
+    assert not certify(s, StaticBinding(military_scheme, {"x": lo, "y": hi})).certified
+
+
+def test_figure3_certification(fig3, fig3_binding_leaky, fig3_binding_safe):
+    assert not certify(fig3, fig3_binding_leaky).certified
+    assert certify(fig3, fig3_binding_safe).certified
+
+
+def test_figure3_chain_requirements(fig3, scheme):
+    # Section 4.3: sbind(x) <= sbind(modify) <= sbind(m) <= sbind(y).
+    names = ["x", "y", "m", "modify", "modified", "read", "done"]
+
+    def try_bind(**over):
+        classes = {n: "high" for n in names}
+        classes.update(over)
+        return certify(fig3, StaticBinding(scheme, classes)).certified
+
+    assert not try_bind(modify="low")          # x=high > modify
+    assert not try_bind(m="low")               # modify=high > m
+    assert not try_bind(y="low")               # m=high > y
+    assert try_bind()                          # all high: fine

@@ -1,0 +1,142 @@
+"""The constraint graph: construction and least solutions."""
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.constraints import (
+    FlowNode,
+    ModNode,
+    VarNode,
+    build_constraint_graph,
+)
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import figure3_program
+
+
+def edges_between_vars(graph):
+    """Variable pairs (a, b) connected by a single edge."""
+    return {
+        (e.src.name, e.dst.name)
+        for e in graph.edges
+        if isinstance(e.src, VarNode) and isinstance(e.dst, VarNode)
+    }
+
+
+def test_assignment_edge(scheme):
+    g = build_constraint_graph(parse_statement("x := y + z"), scheme)
+    assert ("y", "x") in edges_between_vars(g)
+    assert ("z", "x") in edges_between_vars(g)
+
+
+def test_constant_assignment_no_edges(scheme):
+    g = build_constraint_graph(parse_statement("x := 5"), scheme)
+    assert g.edges == []
+
+
+def test_if_guard_edges_via_mod_hub(scheme):
+    g = build_constraint_graph(
+        parse_statement("if c = 0 then begin x := 1; y := 2 end"), scheme
+    )
+    val, violated = g.least_solution(scheme, {"c": "high"})
+    assert val[VarNode("x")] == "high"
+    assert val[VarNode("y")] == "high"
+    assert not violated
+
+
+def test_while_flow_edges(scheme):
+    g = build_constraint_graph(
+        parse_statement("while c > 0 do x := x + 1"), scheme
+    )
+    val, violated = g.least_solution(scheme, {"c": "high"})
+    assert val[VarNode("x")] == "high"
+
+
+def test_wait_produces_flow_node(scheme):
+    s = parse_statement("wait(sem)")
+    g = build_constraint_graph(s, scheme)
+    assert any(isinstance(e.dst, FlowNode) for e in g.edges)
+
+
+def test_signal_produces_no_flow(scheme):
+    g = build_constraint_graph(parse_statement("signal(sem)"), scheme)
+    assert g.edges == []
+
+
+def test_composition_prefix_constraints(scheme):
+    s = parse_statement("begin wait(sem); x := 1; y := 2 end")
+    g = build_constraint_graph(s, scheme)
+    val, violated = g.least_solution(scheme, {"sem": "high"})
+    assert val[VarNode("x")] == "high"
+    assert val[VarNode("y")] == "high"
+    assert not violated
+
+
+def test_no_backwards_composition_constraint(scheme):
+    s = parse_statement("begin x := 1; wait(sem) end")
+    g = build_constraint_graph(s, scheme)
+    val, _ = g.least_solution(scheme, {"sem": "high"})
+    assert val[VarNode("x")] == "low"
+
+
+def test_cobegin_no_cross_branch_constraints(scheme):
+    s = parse_statement("cobegin wait(sem) || y := 1 coend")
+    g = build_constraint_graph(s, scheme)
+    val, violated = g.least_solution(scheme, {"sem": "high"})
+    assert val[VarNode("y")] == "low"
+    assert not violated
+
+
+def test_violation_reported_for_pinned_target(scheme):
+    g = build_constraint_graph(parse_statement("y := x"), scheme)
+    _, violated = g.least_solution(scheme, {"x": "high", "y": "low"})
+    assert violated
+    assert violated[0].dst == VarNode("y")
+
+
+def test_least_solution_is_minimal(scheme):
+    # x := a; y := x : pin a=high; least solution must set exactly x, y high.
+    s = parse_statement("begin x := a; y := x; z := 1 end")
+    g = build_constraint_graph(s, scheme)
+    val, _ = g.least_solution(scheme, {"a": "high"})
+    assert val[VarNode("x")] == "high"
+    assert val[VarNode("y")] == "high"
+    assert val[VarNode("z")] == "low"
+
+
+def test_figure3_graph_requires_the_chain(scheme):
+    g = build_constraint_graph(figure3_program(), scheme)
+    val, violated = g.least_solution(scheme, {"x": "high"})
+    for name in ("modify", "modified", "m", "read", "done", "y"):
+        assert val[VarNode(name)] == "high", name
+    assert not violated
+
+
+def test_least_solution_certifies(scheme):
+    """Solving then certifying must agree (the inference invariant)."""
+    from repro.workloads.generators import random_program
+
+    for seed in range(10):
+        prog = random_program(seed, size=40, p_cobegin=0.2, p_sem_op=0.2)
+        g = build_constraint_graph(prog, scheme)
+        val, violated = g.least_solution(scheme, {})
+        assert not violated
+        classes = {
+            node.name: cls
+            for node, cls in val.items()
+            if isinstance(node, VarNode)
+        }
+        from repro.lang.ast import used_variables
+
+        for name in used_variables(prog.body):
+            classes.setdefault(name, scheme.bottom)
+        report = certify(prog, StaticBinding(scheme, classes))
+        assert report.certified, seed
+
+
+def test_graph_nodes_include_isolated_variables(scheme):
+    g = build_constraint_graph(parse_statement("x := 1"), scheme)
+    assert VarNode("x") in g.nodes()
+
+
+def test_edge_str(scheme):
+    g = build_constraint_graph(parse_statement("y := x"), scheme)
+    assert "sbind(x) <= sbind(y)" in str(g.edges[0])

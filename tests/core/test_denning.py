@@ -1,0 +1,127 @@
+"""The sequential Denning & Denning baseline and its known blind spots."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.errors import CertificationError
+from repro.lang.parser import parse_statement
+from repro.workloads.paper import (
+    section22_while_fragment,
+    section42_composition,
+    section42_loop,
+)
+
+
+def bind(scheme, **classes):
+    return StaticBinding(scheme, classes)
+
+
+def test_direct_flow_checked(scheme):
+    s = parse_statement("x := h")
+    assert not certify_denning(s, bind(scheme, x="low", h="high")).certified
+    assert certify_denning(s, bind(scheme, x="high", h="high")).certified
+
+
+def test_local_indirect_flow_checked(scheme):
+    s = parse_statement("if h = 0 then y := 1 else y := 0")
+    assert not certify_denning(s, bind(scheme, h="high", y="low")).certified
+    assert certify_denning(s, bind(scheme, h="high", y="high")).certified
+
+
+def test_loop_guard_checked(scheme):
+    s = parse_statement("while h > 0 do begin h := h - 1; l := l + 1 end")
+    assert not certify_denning(s, bind(scheme, h="high", l="low")).certified
+
+
+def test_agrees_with_cfm_on_sequential_flowless_programs(scheme):
+    # Without while/wait there are no global flows, so the mechanisms agree.
+    sources = [
+        "x := y",
+        "if c = 0 then x := y else y := x",
+        "begin x := 1; y := x; if y = 0 then z := y end",
+    ]
+    for src in sources:
+        s = parse_statement(src)
+        from repro.lang.ast import used_variables
+
+        for hi in used_variables(s):
+            classes = {n: "low" for n in used_variables(s)}
+            classes[hi] = "high"
+            b = StaticBinding(scheme, classes)
+            s2 = parse_statement(src)
+            b2 = StaticBinding(scheme, classes)
+            assert (
+                certify_denning(s, b).certified == certify(s2, b2).certified
+            ), (src, hi)
+
+
+def test_misses_termination_channel(scheme):
+    """The paper's motivating gap: global flows are disregarded by [3]."""
+    s = section22_while_fragment()  # z := 1 reveals loop termination
+    b = bind(scheme, x="high", y="high", z="low")
+    assert certify_denning(s, b).certified  # baseline accepts...
+    s2 = section22_while_fragment()
+    assert not certify(s2, b).certified  # ...CFM correctly rejects
+
+
+def test_misses_synchronization_channel_in_ignore_mode(scheme):
+    s = section42_composition()  # begin wait(sem); y := 1 end
+    b = bind(scheme, sem="high", y="low")
+    assert certify_denning(s, b, on_concurrency="ignore").certified
+    s2 = section42_composition()
+    assert not certify(s2, b).certified
+
+
+def test_misses_loop_wait_channel_in_ignore_mode(scheme):
+    s = section42_loop()
+    b = bind(scheme, sem="high", y="low")
+    assert certify_denning(s, b, on_concurrency="ignore").certified
+    s2 = section42_loop()
+    assert not certify(s2, b).certified
+
+
+def test_reject_mode_flags_concurrency(scheme):
+    s = parse_statement("cobegin x := 1 || wait(sem) coend")
+    report = certify_denning(s, bind(scheme, x="low", sem="low"))
+    assert not report.certified
+    assert len(report.unsupported) == 2  # the cobegin and the wait
+    assert "unsupported" in report.summary()
+
+
+def test_ignore_mode_still_checks_inside_branches(scheme):
+    s = parse_statement("cobegin x := h || y := 1 coend")
+    b = bind(scheme, x="low", h="high", y="low")
+    assert not certify_denning(s, b, on_concurrency="ignore").certified
+
+
+def test_figure3_certified_by_baseline_but_not_cfm(
+    fig3, fig3_binding_leaky
+):
+    """The headline comparison: the Figure 3 channel is invisible to [3]."""
+    baseline = certify_denning(fig3, fig3_binding_leaky, on_concurrency="ignore")
+    assert baseline.certified
+    from repro.workloads.paper import figure3_program
+
+    assert not certify(figure3_program(), fig3_binding_leaky).certified
+
+
+def test_invalid_mode_rejected(scheme):
+    with pytest.raises(CertificationError):
+        certify_denning(parse_statement("x := 1"), bind(scheme, x="low"), "maybe")
+
+
+def test_never_stricter_than_cfm_on_shared_checks(scheme):
+    # Denning's checks are a subset of CFM's, so CFM-certified implies
+    # Denning-certified (in ignore mode) for any program.
+    from repro.workloads.generators import random_program
+    from repro.core.inference import infer_binding
+
+    for seed in range(15):
+        prog = random_program(seed, size=30, p_cobegin=0.2, p_sem_op=0.15)
+        result = infer_binding(prog, scheme, {})
+        cfm = certify(prog, result.binding)
+        assert cfm.certified
+        baseline = certify_denning(prog, result.binding, on_concurrency="ignore")
+        assert baseline.certified, seed

@@ -1,0 +1,220 @@
+"""The flow-sensitive certifier (the paper's section 5.2 gap, closed)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.flowsensitive import FSState, analyze, certify_flow_sensitive
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import four_level, two_level
+from repro.workloads.generators import random_certified_case
+from repro.workloads.paper import figure3_program, section52_program
+
+SCHEME = two_level()
+
+
+def fs(source, **classes):
+    return certify_flow_sensitive(
+        parse_statement(source), StaticBinding(SCHEME, classes)
+    )
+
+
+# -- the headline: strictly stronger than CFM ---------------------------
+
+
+def test_section52_certified():
+    report = fs("begin x := 0; y := x end", x="high", y="low")
+    assert report.certified
+    assert report.final_state.cls("x") == "low"  # the class dropped
+    assert report.final_state.cls("y") == "low"
+
+
+def test_section52_cfm_still_rejects(scheme):
+    binding = StaticBinding(scheme, {"x": "high", "y": "low"})
+    assert not certify(section52_program(), binding).certified
+
+
+def test_sanitize_reset_after_branch():
+    # Sanitization works inside a low branch too.
+    report = fs(
+        "begin if c = 0 then x := 0 else x := 1; y := x end",
+        c="low", x="high", y="low",
+    )
+    assert report.certified
+
+
+def test_high_guard_poisons_sanitized_value():
+    # ...but a high guard re-taints through the local context.
+    report = fs(
+        "begin if h = 0 then x := 0 else x := 1; y := x end",
+        h="high", x="high", y="low",
+    )
+    assert not report.certified
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_dominates_cfm(seed):
+    """Everything CFM certifies, the flow-sensitive mechanism certifies."""
+    prog, binding = random_certified_case(seed, SCHEME, size=28, n_pins=3)
+    assert certify_flow_sensitive(prog, binding).certified
+
+
+# -- still rejects the real flows ----------------------------------------
+
+
+def test_direct_flow_rejected():
+    report = fs("y := x", x="high", y="low")
+    assert not report.certified
+    (violation,) = report.violations
+    assert violation.variable == "y"
+    assert "exceeds" in str(violation)
+
+
+def test_local_indirect_rejected():
+    assert not fs("if h = 0 then y := 1", h="high", y="low").certified
+
+
+def test_termination_flow_rejected():
+    assert not fs(
+        "begin z := 0; while h # 0 do h := h - 1; z := 1 end",
+        h="high", z="low",
+    ).certified
+
+
+def test_synchronization_flow_rejected():
+    report = fs(
+        "cobegin if h = 0 then signal(s) || begin wait(s); y := 1 end coend",
+        h="high", s="high", y="low",
+    )
+    assert not report.certified
+
+
+def test_figure3_rejected_for_leaky_binding(fig3_binding_leaky):
+    assert not certify_flow_sensitive(figure3_program(), fig3_binding_leaky).certified
+
+
+def test_figure3_certified_for_safe_binding(fig3_binding_safe):
+    assert certify_flow_sensitive(figure3_program(), fig3_binding_safe).certified
+
+
+# -- loop fixpoints -------------------------------------------------------
+
+
+def test_loop_fixpoint_taints_carried_variable():
+    # x flows into acc only after one iteration; the fixpoint finds it.
+    report = fs(
+        "while c < 3 do begin acc := acc + x; c := c + 1 end",
+        c="low", acc="low", x="high",
+    )
+    assert not report.certified
+
+
+def test_loop_fixpoint_converges_on_cycles():
+    # a and b swap forever: classes reach a stable joined fixpoint.
+    report = fs(
+        "while c < 3 do begin t := a; a := b; b := t; c := c + 1 end",
+        c="low", a="high", b="low", t="low",
+    )
+    assert not report.certified  # b eventually receives a's class
+    report2 = fs(
+        "while c < 3 do begin t := a; a := b; b := t; c := c + 1 end",
+        c="low", a="high", b="high", t="high",
+    )
+    assert report2.certified
+
+
+def test_nested_loops_converge():
+    report = fs(
+        "while a < 2 do while b < 2 do begin x := x + 1; b := b + 1 end",
+        a="low", b="low", x="low",
+    )
+    assert report.certified
+
+
+def test_loop_global_monotone():
+    report = fs(
+        "begin while h > 0 do h := h - 1; after := 1 end",
+        h="high", after="high",
+    )
+    assert report.certified
+    assert report.final_state.global_ == "high"
+
+
+# -- concurrency fixpoint ---------------------------------------------------
+
+
+def test_cross_branch_interference_found():
+    # Branch order is not fixed: y := x must see x's raised class even
+    # though textually x := h is in the *second* branch.
+    report = fs(
+        "cobegin y := x || x := h coend",
+        x="high", h="high", y="low",
+    )
+    assert not report.certified
+
+
+def test_interference_rounds_reach_fixpoint():
+    report = fs(
+        "cobegin a := b || b := c || c := h coend",
+        a="low", b="low", c="low", h="high",
+    )
+    # h -> c -> b -> a across rounds.
+    assert not report.certified
+    assert {v.variable for v in report.violations} == {"a", "b", "c"}
+
+
+def test_independent_branches_stay_precise():
+    report = fs(
+        "cobegin l := 1 || h := h + 1 coend",
+        l="low", h="high",
+    )
+    assert report.certified
+
+
+# -- state plumbing ---------------------------------------------------------
+
+
+def test_pre_post_states_recorded():
+    stmt = parse_statement("begin x := 0; y := x end")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    report = analyze(stmt, binding)
+    first, second = stmt.body
+    assert report.pre_states[first.uid].cls("x") == "high"
+    assert report.post_states[first.uid].cls("x") == "low"
+    assert report.post_states[second.uid].cls("y") == "low"
+
+
+def test_initial_override():
+    stmt = parse_statement("y := x")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    report = analyze(stmt, binding, initial={"x": "low"})
+    assert report.certified  # x declared sanitized on entry
+
+
+def test_four_level_precision():
+    levels = four_level()
+    stmt = parse_statement("begin m := s; m := 0; out := m end")
+    binding = StaticBinding(
+        levels, {"s": "secret", "m": "secret", "out": "unclassified"}
+    )
+    assert certify_flow_sensitive(stmt, binding).certified
+
+
+def test_fsstate_lattice_ops(scheme):
+    a = FSState(scheme, {"x": "low"}, "low", "low")
+    b = FSState(scheme, {"x": "high"}, "low", "low")
+    assert a.leq(b)
+    assert not b.leq(a)
+    j = a.join(b)
+    assert j.cls("x") == "high"
+    assert a.key() != b.key()
+
+
+def test_summary_text():
+    report = fs("y := x", x="high", y="low")
+    assert "REJECTED" in report.summary()
+    report2 = fs("y := x", x="low", y="low")
+    assert "CERTIFIED" in report2.summary()

@@ -1,0 +1,98 @@
+"""Least-binding inference."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.inference import infer_binding
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import four_level
+from repro.workloads.paper import figure3_program
+
+
+def test_empty_pins_give_all_bottom(scheme):
+    s = parse_statement("begin x := y; z := x end")
+    result = infer_binding(s, scheme, {})
+    assert result.satisfiable
+    assert result.inferred == {"x": "low", "y": "low", "z": "low"}
+
+
+def test_inferred_binding_certifies(scheme):
+    s = parse_statement("begin x := h; if x = 0 then y := 1 end")
+    result = infer_binding(s, scheme, {"h": "high"})
+    assert result.satisfiable
+    assert certify(parse_statement("begin x := h; if x = 0 then y := 1 end"),
+                   result.binding.with_bindings({})).certified
+
+
+def test_inference_is_least(scheme):
+    s = parse_statement("begin a := h; b := 1 end")
+    result = infer_binding(s, scheme, {"h": "high"})
+    assert result.inferred["a"] == "high"
+    assert result.inferred["b"] == "low"  # untouched by high data
+
+
+def test_unsatisfiable_reports_violations(scheme):
+    s = parse_statement("y := x")
+    result = infer_binding(s, scheme, {"x": "high", "y": "low"})
+    assert not result.satisfiable
+    assert result.binding is None
+    assert result.violations
+    assert "unsatisfiable" in result.explain()
+
+
+def test_figure3_inference_chain(scheme):
+    result = infer_binding(figure3_program(), scheme, {"x": "high"})
+    assert result.satisfiable
+    assert result.inferred["y"] == "high"  # the covert channel forces it
+
+
+def test_figure3_x_high_y_low_unsat(scheme):
+    result = infer_binding(figure3_program(), scheme, {"x": "high", "y": "low"})
+    assert not result.satisfiable
+
+
+def test_four_level_inference():
+    levels = four_level()
+    s = parse_statement("begin m := a + b; out := m end")
+    result = infer_binding(
+        s, levels, {"a": "confidential", "b": "secret"}
+    )
+    assert result.satisfiable
+    assert result.inferred["m"] == "secret"
+    assert result.inferred["out"] == "secret"
+
+
+def test_pins_for_unused_variables_pass_through(scheme):
+    s = parse_statement("x := 1")
+    result = infer_binding(s, scheme, {"ghost": "high"})
+    assert result.satisfiable
+    assert result.binding.of_var("ghost") == "high"
+
+
+def test_diamond_join_inference(diamond_scheme):
+    s = parse_statement("x := a + b")
+    result = infer_binding(s, diamond_scheme, {"a": "left", "b": "right"})
+    assert result.satisfiable
+    assert result.inferred["x"] == "high"
+
+
+def test_inference_respects_global_flows(scheme):
+    s = parse_statement("begin wait(sem); y := 1 end")
+    result = infer_binding(s, scheme, {"sem": "high"})
+    assert result.satisfiable
+    assert result.inferred["y"] == "high"
+
+
+def test_explain_mentions_inferred_classes(scheme):
+    s = parse_statement("x := h")
+    result = infer_binding(s, scheme, {"h": "high"})
+    assert "x='high'" in result.explain()
+
+
+def test_random_corpus_inference_always_certifies(scheme):
+    from repro.workloads.generators import random_certified_case
+
+    for seed in range(25):
+        prog, binding = random_certified_case(seed, scheme, size=35, n_pins=3)
+        assert certify(prog, binding).certified, seed

@@ -1,0 +1,69 @@
+"""Information states and policy specs (Definitions 2 and 6)."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.policy import InformationState, PolicySpec
+from repro.errors import BindingError
+
+
+def test_state_get_set(scheme):
+    s = InformationState(scheme, {"x": "low"})
+    assert s.cls("x") == "low"
+    s.set_cls("x", "high")
+    assert s.cls("x") == "high"
+
+
+def test_raise_cls_never_lowers(scheme):
+    s = InformationState(scheme, {"x": "high"})
+    s.raise_cls("x", "low")
+    assert s.cls("x") == "high"
+
+
+def test_missing_variable_raises(scheme):
+    s = InformationState(scheme, {})
+    with pytest.raises(BindingError):
+        s.cls("x")
+
+
+def test_copy_is_independent(scheme):
+    s = InformationState(scheme, {"x": "low"})
+    c = s.copy()
+    c.set_cls("x", "high")
+    assert s.cls("x") == "low"
+
+
+def test_uniformly(scheme):
+    s = InformationState.uniformly(scheme, ["a", "b"], "high")
+    assert s.cls("a") == s.cls("b") == "high"
+
+
+def test_policy_from_binding(scheme):
+    b = StaticBinding(scheme, {"x": "high", "y": "low"})
+    p = PolicySpec.from_binding(b)
+    assert p.bounds == {"x": "high", "y": "low"}
+
+
+def test_policy_check_reports_violations(scheme):
+    p = PolicySpec(scheme, {"x": "low", "y": "high"})
+    s = InformationState(scheme, {"x": "high", "y": "high"})
+    violations = p.check(s)
+    assert violations == [("x", "high", "low")]
+    assert not p.satisfied_by(s)
+
+
+def test_policy_satisfied(scheme):
+    p = PolicySpec(scheme, {"x": "high"})
+    s = InformationState(scheme, {"x": "low"})
+    assert p.satisfied_by(s)
+
+
+def test_policy_ignores_unknown_variables(scheme):
+    p = PolicySpec(scheme, {"x": "low", "ghost": "low"})
+    s = InformationState(scheme, {"x": "low"})
+    assert p.satisfied_by(s)
+
+
+def test_state_repr(scheme):
+    s = InformationState(scheme, {"x": "low"})
+    assert "x" in repr(s)

@@ -1,0 +1,79 @@
+"""Figure 3, end to end: every claim the paper makes about it, in one place.
+
+The paper's section 4.3 narrative, as executable assertions:
+
+1. the program transmits x to y through synchronization alone;
+2. the Dennings' mechanism cannot be applied (or, naively applied,
+   certifies the leaky binding);
+3. CFM derives sbind(x) <= sbind(modify) <= sbind(m) <= sbind(y) and
+   rejects x=high/y=low;
+4. the program cannot deadlock and restores its semaphores;
+5. looping the processes transmits arbitrarily much information;
+6. Theorem 1 turns the certified variant into a checked, completely
+   invariant flow proof.
+"""
+
+from repro.analysis.flowgraph import flow_graph
+from repro.analysis.leaks import find_leak
+from repro.core.cfm import certify
+from repro.core.denning import certify_denning
+from repro.core.inference import infer_binding
+from repro.logic.checker import check_proof
+from repro.logic.extract import certification_from_proof
+from repro.logic.generator import generate_proof
+from repro.runtime.executor import run
+from repro.runtime.explorer import explore
+from repro.workloads.paper import figure3_looped, figure3_program
+
+
+def test_claim_1_the_channel_is_real(fig3, fig3_binding_leaky):
+    witness = find_leak(fig3, fig3_binding_leaky, "low", values=(0, 1))
+    assert witness is not None and witness.variable == "x"
+
+
+def test_claim_2_baseline_is_blind(fig3, fig3_binding_leaky):
+    strict = certify_denning(fig3, fig3_binding_leaky, on_concurrency="reject")
+    assert not strict.certified and strict.unsupported  # not applicable
+    naive = certify_denning(fig3, fig3_binding_leaky, on_concurrency="ignore")
+    assert naive.certified  # and blind to the channel when forced
+
+
+def test_claim_3_cfm_derives_the_chain(fig3, fig3_binding_leaky, scheme):
+    assert not certify(fig3, fig3_binding_leaky).certified
+    g = flow_graph(fig3, scheme)
+    assert g.can_flow("x", "modify")
+    assert g.can_flow("modify", "m")
+    assert g.can_flow("m", "y")
+    inferred = infer_binding(fig3, scheme, {"x": "high"})
+    assert inferred.inferred["y"] == "high"
+
+
+def test_claim_4_deadlock_free_and_semaphores_restored(fig3):
+    for xv in (0, 1):
+        res = explore(figure3_program(), store={"x": xv})
+        assert res.complete and res.deadlock_free
+        for outcome in res.completed_outcomes:
+            assert all(outcome.value(s) == 0 for s in ("modify", "modified", "read", "done"))
+
+
+def test_claim_5_arbitrary_information(fig3):
+    pipe = figure3_looped(bits=5)
+    for secret in (0, 9, 31):
+        result = run(pipe, store={"x": secret}, max_steps=50_000)
+        assert result.completed
+        assert result.store["y"] == secret % 32
+        pipe = figure3_looped(bits=5)
+
+
+def test_claim_5_looped_channel_also_rejected(scheme):
+    pipe = figure3_looped(bits=3)
+    result = infer_binding(pipe, scheme, {"x": "high", "y": "low"})
+    assert not result.satisfiable
+
+
+def test_claim_6_theorem1_proof_for_certified_variant(fig3, fig3_binding_safe):
+    report = certify(fig3, fig3_binding_safe)
+    assert report.certified
+    proof = generate_proof(fig3, fig3_binding_safe, report=report)
+    assert check_proof(proof, fig3_binding_safe.scheme).ok
+    assert certification_from_proof(proof, fig3_binding_safe).certified

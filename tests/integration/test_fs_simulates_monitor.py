@@ -1,0 +1,102 @@
+"""The flow-sensitive analysis over-approximates the dynamic monitor.
+
+This is the soundness lemma behind the extension mechanism: for every
+schedule, whenever an atomic action of statement ``S`` executes, the
+dynamic class the monitor assigns to the written variable is below the
+class the static analysis computed at ``S``'s program point — and at
+completion the whole dynamic information state is below the analysis'
+final state.  (The converse is false by design: the analysis joins
+over branches, loop iterations, and interleavings that a single run
+never takes.)
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.flowsensitive import analyze
+from repro.lang.ast import Assign, Signal, Wait, used_variables
+from repro.lattice.chain import two_level
+from repro.runtime.machine import Machine
+from repro.runtime.taint import TaintMonitor
+from repro.workloads.generators import random_certified_case
+
+SCHEME = two_level()
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=50, deadline=None)
+def test_written_classes_dominated_at_each_step(seed, sched_seed):
+    prog, binding = random_certified_case(
+        seed, SCHEME, size=18, runtime_safe=True, n_pins=3, p_cobegin=0.25
+    )
+    report = analyze(prog, binding)
+    names = used_variables(prog.body)
+    monitor = TaintMonitor.from_binding(binding, names)
+    machine = Machine(prog, monitor=monitor)
+    rng = random.Random(sched_seed)
+    steps = 0
+    while not machine.done and steps < 20_000:
+        enabled = machine.enabled()
+        if not enabled:
+            break
+        event = machine.step(rng.choice(enabled))
+        steps += 1
+        stmt = event.stmt
+        if isinstance(stmt, Assign):
+            written = stmt.target
+        elif isinstance(stmt, (Wait, Signal)):
+            written = stmt.sem
+        else:
+            continue
+        static_cls = report.post_states[stmt.uid].cls(written)
+        dynamic_cls = monitor.state.cls(written)
+        assert SCHEME.leq(dynamic_cls, static_cls), (
+            event,
+            written,
+            dynamic_cls,
+            static_cls,
+        )
+    assert machine.done
+
+
+@given(
+    st.integers(min_value=0, max_value=300),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_final_state_dominated(seed, sched_seed):
+    prog, binding = random_certified_case(
+        seed, SCHEME, size=18, runtime_safe=True, n_pins=3, p_cobegin=0.25
+    )
+    report = analyze(prog, binding)
+    names = used_variables(prog.body)
+    monitor = TaintMonitor.from_binding(binding, names)
+    machine = Machine(prog, monitor=monitor)
+    rng = random.Random(sched_seed)
+    while not machine.done:
+        machine.step(rng.choice(machine.enabled()))
+    for name in names:
+        assert SCHEME.leq(
+            monitor.state.cls(name), report.final_state.cls(name)
+        ), name
+
+
+def test_strictness_example():
+    """One run's labels can be strictly below the analysis (the whole
+    point of joining over paths the run did not take)."""
+    from repro.core.binding import StaticBinding
+    from repro.lang.parser import parse_statement
+    from repro.runtime.executor import run
+
+    stmt = parse_statement("if c = 0 then x := h else x := 1")
+    binding = StaticBinding(SCHEME, {"c": "low", "x": "high", "h": "high"})
+    report = analyze(stmt, binding)
+    monitor = TaintMonitor.from_binding(binding, ["c", "x", "h"])
+    run(stmt, store={"c": 1}, monitor=monitor)  # takes the low branch
+    assert monitor.state.cls("x") == "low"
+    assert report.final_state.cls("x") == "high"  # join over both branches

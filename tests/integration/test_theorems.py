@@ -1,0 +1,122 @@
+"""Theorems 1 and 2 as executable properties over random corpora.
+
+Theorem 1: ``cert(S)`` with ``l (+) g <= mod(S)`` implies a completely
+invariant flow proof of the stated form exists — our generator builds
+it and the independent checker accepts it.
+
+Theorem 2: a completely invariant proof implies ``cert(S)``.
+
+Together: CFM certification <=> a completely invariant proof exists.
+The test corpus mixes the paper's programs, random sequential programs,
+and random concurrent programs over several schemes.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.inference import infer_binding
+from repro.errors import GenerationError
+from repro.lang.ast import used_variables
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.finite import diamond
+from repro.logic.checker import check_proof
+from repro.logic.extract import certification_from_proof, is_completely_invariant
+from repro.logic.generator import generate_proof
+from repro.workloads.generators import random_certified_case, random_program
+from repro.workloads.paper import paper_programs
+
+SCHEMES = {
+    "two-level": two_level,
+    "four-level": four_level,
+    "diamond": diamond,
+}
+
+
+def random_binding(seed, scheme, names):
+    import random as _random
+
+    rng = _random.Random(seed)
+    classes = sorted(scheme.elements, key=repr)
+    return StaticBinding(scheme, {n: rng.choice(classes) for n in names})
+
+
+@given(st.integers(min_value=0, max_value=300), st.sampled_from(sorted(SCHEMES)))
+@settings(max_examples=60, deadline=None)
+def test_theorem1_certified_implies_checked_proof(seed, scheme_name):
+    scheme = SCHEMES[scheme_name]()
+    prog, binding = random_certified_case(seed, scheme, size=30, n_pins=3)
+    report = certify(prog, binding)
+    assert report.certified
+    proof = generate_proof(prog, binding, report=report)
+    checked = check_proof(proof, scheme)
+    assert checked.ok, checked.problems[:3]
+    assert is_completely_invariant(proof, binding)
+
+
+@given(st.integers(min_value=0, max_value=300), st.sampled_from(sorted(SCHEMES)))
+@settings(max_examples=60, deadline=None)
+def test_biconditional_on_random_bindings(seed, scheme_name):
+    """cert(S) <=> the generator produces a checker-accepted completely
+    invariant proof.  Random (often rejecting) bindings exercise both
+    directions."""
+    scheme = SCHEMES[scheme_name]()
+    prog = random_program(seed, size=25, p_cobegin=0.2, p_sem_op=0.15)
+    binding = random_binding(seed ^ 0xBEEF, scheme, used_variables(prog.body))
+    report = certify(prog, binding)
+    if report.certified:
+        proof = generate_proof(prog, binding, report=report)
+        assert check_proof(proof, scheme).ok
+        assert is_completely_invariant(proof, binding)
+        # Theorem 2 closes the loop.
+        assert certification_from_proof(proof, binding).certified
+    else:
+        with pytest.raises(GenerationError):
+            generate_proof(prog, binding, report=report)
+
+
+def test_theorem1_for_every_l_g_below_mod(scheme):
+    """The theorem quantifies over all l, g with l (+) g <= mod(S)."""
+    from repro.lang.parser import parse_statement
+
+    stmt = parse_statement("begin wait(s); x := 1; y := x end")
+    binding = StaticBinding(scheme, {"s": "low", "x": "high", "y": "high"})
+    report = certify(stmt, binding)
+    mod = report.analysis.mod(stmt)
+    for l in scheme.elements:
+        for g in scheme.elements:
+            if not scheme.leq(scheme.join(l, g), mod):
+                continue
+            stmt2 = parse_statement("begin wait(s); x := 1; y := x end")
+            binding2 = StaticBinding(scheme, {"s": "low", "x": "high", "y": "high"})
+            proof = generate_proof(stmt2, binding2, l=l, g=g)
+            assert check_proof(proof, scheme).ok, (l, g)
+            pre_vlg = proof.pre.vlg()
+            assert pre_vlg.local.const == l
+            assert pre_vlg.global_.const == g
+
+
+def test_paper_corpus_biconditional(scheme):
+    for name, stmt in paper_programs().items():
+        result = infer_binding(stmt, scheme, {})
+        proof = generate_proof(stmt, result.binding)
+        assert check_proof(proof, scheme).ok, name
+        assert certification_from_proof(proof, result.binding).certified, name
+
+
+def test_theorem_post_bound_matches_statement(scheme):
+    """Post global bound is at most g (+) l (+) flow(S), per Theorem 1."""
+    for seed in range(20):
+        prog, binding = random_certified_case(seed, scheme, size=25, n_pins=2)
+        report = certify(prog, binding)
+        proof = generate_proof(prog, binding, report=report)
+        _, l_bound, g_bound = proof.post.vlg()
+        ext = binding.extended
+        flow = report.analysis.flow(prog.body)
+        bound = ext.join(ext.join(scheme.bottom, scheme.bottom), flow)
+        if flow is not ext.bottom:
+            assert ext.leq(g_bound.const, ext.join(bound, scheme.bottom))
+        else:
+            assert g_bound.const == scheme.bottom

@@ -1,0 +1,121 @@
+"""AST helpers and traversals."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assign,
+    BinOp,
+    Cobegin,
+    If,
+    IntLit,
+    Var,
+    VarDecl,
+    expr_variables,
+    iter_nodes,
+    iter_statements,
+    max_nesting,
+    modified_variables,
+    program_size,
+    used_variables,
+)
+from repro.lang.parser import parse_expression, parse_program, parse_statement
+
+
+def test_uids_unique():
+    s = parse_statement("begin x := 1; x := 2 end")
+    uids = [n.uid for n in iter_nodes(s)]
+    assert len(uids) == len(set(uids))
+
+
+def test_identity_equality():
+    a = parse_statement("x := 1")
+    b = parse_statement("x := 1")
+    assert a != b  # program points, not shapes
+    assert a == a
+
+
+def test_iter_nodes_preorder():
+    s = parse_statement("if a = 0 then x := 1 else y := 2")
+    types = [type(n).__name__ for n in iter_nodes(s)]
+    assert types[0] == "If"
+    assert types[1] == "BinOp"  # condition before branches
+
+
+def test_iter_statements_skips_expressions():
+    s = parse_statement("if a = 0 then x := 1")
+    stmts = list(iter_statements(s))
+    assert len(stmts) == 2  # the if and the assignment
+
+
+def test_expr_variables():
+    e = parse_expression("a + b * a - 3")
+    assert expr_variables(e) == frozenset({"a", "b"})
+
+
+def test_used_variables_includes_semaphores_and_targets():
+    s = parse_statement("begin wait(s); x := y end")
+    assert used_variables(s) == frozenset({"s", "x", "y"})
+
+
+def test_modified_variables():
+    s = parse_statement("begin wait(s); signal(t); x := y end")
+    assert modified_variables(s) == frozenset({"s", "t", "x"})
+
+
+def test_program_size_counts_statements():
+    s = parse_statement("begin x := 1; if a = 0 then y := 2; skip end")
+    # begin, assign, if, assign, skip
+    assert program_size(s) == 5
+
+
+def test_max_nesting():
+    s = parse_statement("while a > 0 do if b = 0 then x := 1")
+    assert max_nesting(s) == 3
+
+
+def test_invalid_binop_rejected():
+    with pytest.raises(ValueError):
+        BinOp("**", IntLit(1), IntLit(2))
+
+
+def test_invalid_unop_rejected():
+    from repro.lang.ast import UnOp
+
+    with pytest.raises(ValueError):
+        UnOp("!", IntLit(1))
+
+
+def test_empty_cobegin_rejected():
+    with pytest.raises(ValueError):
+        Cobegin([])
+
+
+def test_vardecl_validation():
+    with pytest.raises(ValueError):
+        VarDecl([], "integer")
+    with pytest.raises(ValueError):
+        VarDecl(["x"], "float")
+
+
+def test_program_helpers():
+    p = parse_program("var x : integer initially(4); s : semaphore; x := 1")
+    assert p.declared() == ["x", "s"]
+    assert p.initial_values() == {"x": 4, "s": 0}
+
+
+def test_repr_is_informative():
+    s = parse_statement("x := 1 + 2")
+    assert "Assign" in repr(s)
+    assert "x := 1 + 2" in repr(s)
+
+
+def test_if_children_without_else():
+    s = parse_statement("if a = 0 then x := 1")
+    assert len(s.children()) == 2
+
+
+def test_loc_bool():
+    from repro.lang.ast import Loc
+
+    assert not Loc.none()
+    assert Loc(3, 1)

@@ -1,0 +1,68 @@
+"""The programmatic builder DSL."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang.ast import Assign, BinOp, BoolLit, IntLit, Var
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty
+
+
+def test_expression_coercions():
+    e = b.add("x", 1)
+    assert isinstance(e.left, Var)
+    assert isinstance(e.right, IntLit)
+
+
+def test_bool_coercion():
+    assert isinstance(b._expr(True), BoolLit)
+
+
+def test_lit_dispatch():
+    assert isinstance(b.lit(True), BoolLit)
+    assert isinstance(b.lit(3), IntLit)
+
+
+def test_builder_matches_parser():
+    built = b.begin(
+        b.assign("x", b.add("y", 1)),
+        b.if_(b.ne("x", 0), b.signal("s")),
+        b.while_(b.lt("i", 3), b.assign("i", b.add("i", 1))),
+    )
+    parsed = parse_statement(
+        """
+        begin
+          x := y + 1;
+          if x # 0 then signal(s);
+          while i < 3 do i := i + 1
+        end
+        """
+    )
+    assert pretty(built) == pretty(parsed)
+
+
+def test_cobegin_builder():
+    s = b.cobegin(b.wait("s"), b.signal("s"))
+    assert pretty(s) == pretty(parse_statement("cobegin wait(s) || signal(s) coend"))
+
+
+def test_all_operators():
+    pairs = [
+        (b.add, "+"), (b.sub, "-"), (b.mul, "*"), (b.div, "/"), (b.mod, "mod"),
+        (b.eq, "="), (b.ne, "#"), (b.lt, "<"), (b.le, "<="), (b.gt, ">"),
+        (b.ge, ">="), (b.and_, "and"), (b.or_, "or"),
+    ]
+    for fn, op in pairs:
+        assert fn("a", "b").op == op
+    assert b.not_("a").op == "not"
+    assert b.neg("a").op == "-"
+
+
+def test_program_builder():
+    p = b.program([b.int_decl("x"), b.sem_decl("s", initially=1)], b.assign("x", 0))
+    assert p.initial_values() == {"x": 0, "s": 1}
+
+
+def test_rejects_non_expressions():
+    with pytest.raises(TypeError):
+        b.assign("x", object())

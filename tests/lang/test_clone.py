@@ -1,0 +1,75 @@
+"""AST cloning and renaming."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.lang.ast import iter_nodes
+from repro.lang.clone import clone_expr, clone_stmt
+from repro.lang.parser import parse_expression, parse_statement
+from repro.lang.pretty import pretty
+
+
+def test_clone_produces_fresh_uids():
+    s = parse_statement("begin x := 1; if a = 0 then y := 2 end")
+    c = clone_stmt(s)
+    assert pretty(c) == pretty(s)
+    original = {n.uid for n in iter_nodes(s)}
+    cloned = {n.uid for n in iter_nodes(c)}
+    assert original.isdisjoint(cloned)
+
+
+def test_rename_reads_and_writes():
+    s = parse_statement("x := x + y")
+    c = clone_stmt(s, {"x": "a", "y": "b"})
+    assert pretty(c) == "a := a + b"
+
+
+def test_rename_semaphores_and_guards():
+    s = parse_statement(
+        "begin wait(s); signal(t); while s2 > 0 do skip; if s2 = 0 then skip end"
+    )
+    c = clone_stmt(s, {"s": "sem1", "t": "sem2", "s2": "n"})
+    text = pretty(c)
+    assert "wait(sem1)" in text and "signal(sem2)" in text
+    assert "while n > 0" in text and "if n = 0" in text
+
+
+def test_rename_misses_are_identity():
+    e = parse_expression("x + 1")
+    c = clone_expr(e, {"z": "w"})
+    assert pretty(c) == "x + 1"
+
+
+def test_locations_preserved():
+    s = parse_statement("x := 1")
+    c = clone_stmt(s)
+    assert (c.loc.line, c.loc.column) == (s.loc.line, s.loc.column)
+
+
+def test_clone_cobegin_and_else():
+    s = parse_statement("cobegin if a = 0 then x := 1 else y := 2 || skip coend")
+    assert pretty(clone_stmt(s)) == pretty(s)
+
+
+def test_clone_call():
+    from repro.lang.procs import Call
+
+    call = Call("p", [parse_expression("x + 1")], ["y"])
+    c = clone_stmt(call, {"x": "a", "y": "b"})
+    assert c.name == "p"
+    assert pretty(c.in_args[0]) == "a + 1"
+    assert c.out_args == ["b"]
+
+
+def test_clone_rejects_non_nodes():
+    with pytest.raises(LanguageError):
+        clone_expr("not a node")
+    with pytest.raises(LanguageError):
+        clone_stmt("not a node")
+
+
+def test_mutating_clone_leaves_original():
+    s = parse_statement("begin x := 1; y := 2 end")
+    c = clone_stmt(s)
+    c.body.pop()
+    assert len(s.body) == 2

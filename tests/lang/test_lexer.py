@@ -1,0 +1,94 @@
+"""Lexer behaviour."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("while whilex do done")
+    assert toks[0] == ("keyword", "while")
+    assert toks[1] == ("ident", "whilex")
+    assert toks[2] == ("keyword", "do")
+    assert toks[3] == ("ident", "done")
+
+
+def test_integers():
+    assert kinds("0 42 1234") == [("int", "0"), ("int", "42"), ("int", "1234")]
+
+
+def test_symbols_longest_match():
+    assert kinds(":= <= >= < > = #") == [
+        ("symbol", ":="),
+        ("symbol", "<="),
+        ("symbol", ">="),
+        ("symbol", "<"),
+        ("symbol", ">"),
+        ("symbol", "="),
+        ("symbol", "#"),
+    ]
+
+
+def test_parallel_bars():
+    assert kinds("a || b") == [("ident", "a"), ("symbol", "||"), ("ident", "b")]
+
+
+def test_comments_skipped():
+    assert kinds("x -- this is a comment\ny") == [("ident", "x"), ("ident", "y")]
+
+
+def test_comment_at_eof():
+    assert kinds("x -- trailing") == [("ident", "x")]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("x :=\n  5")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (1, 3)
+    assert (toks[2].line, toks[2].column) == (2, 3)
+
+
+def test_eof_token_present():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "eof"
+
+
+def test_illegal_character():
+    with pytest.raises(LexError) as exc:
+        tokenize("x @ y")
+    assert exc.value.line == 1
+
+
+def test_identifier_cannot_start_with_digit():
+    with pytest.raises(LexError):
+        tokenize("1abc")
+
+
+def test_underscored_identifiers():
+    assert kinds("_x x_1") == [("ident", "_x"), ("ident", "x_1")]
+
+
+def test_minus_is_not_comment():
+    assert kinds("a - b") == [("ident", "a"), ("symbol", "-"), ("ident", "b")]
+
+
+def test_double_minus_inside_expression_is_comment():
+    # '--' always starts a comment; a - -b must be written with a space.
+    assert kinds("a - -b") == [
+        ("ident", "a"),
+        ("symbol", "-"),
+        ("symbol", "-"),
+        ("ident", "b"),
+    ]
+
+
+def test_token_describe():
+    toks = tokenize("x")
+    assert "ident" in toks[0].describe()
+    assert toks[-1].describe() == "end of input"

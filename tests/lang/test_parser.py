@@ -1,0 +1,198 @@
+"""Parser structure and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    If,
+    IntLit,
+    Signal,
+    Skip,
+    UnOp,
+    Var,
+    Wait,
+    While,
+)
+from repro.lang.parser import parse_expression, parse_program, parse_statement
+
+
+def test_assignment():
+    s = parse_statement("x := y + 1")
+    assert isinstance(s, Assign)
+    assert s.target == "x"
+    assert isinstance(s.expr, BinOp)
+
+
+def test_if_then_else():
+    s = parse_statement("if x = 0 then y := 1 else y := 2")
+    assert isinstance(s, If)
+    assert isinstance(s.then_branch, Assign)
+    assert isinstance(s.else_branch, Assign)
+
+
+def test_if_without_else():
+    s = parse_statement("if x = 0 then y := 1")
+    assert s.else_branch is None
+
+
+def test_dangling_else_binds_to_nearest_if():
+    s = parse_statement("if a = 0 then if b = 0 then x := 1 else x := 2")
+    assert s.else_branch is None
+    assert isinstance(s.then_branch, If)
+    assert s.then_branch.else_branch is not None
+
+
+def test_while():
+    s = parse_statement("while x > 0 do x := x - 1")
+    assert isinstance(s, While)
+
+
+def test_begin_composition():
+    s = parse_statement("begin x := 1; y := 2; z := 3 end")
+    assert isinstance(s, Begin)
+    assert len(s.body) == 3
+
+
+def test_begin_tolerates_trailing_semicolon():
+    s = parse_statement("begin x := 1; end")
+    assert len(s.body) == 1
+
+
+def test_cobegin():
+    s = parse_statement("cobegin x := 1 || y := 2 || z := 3 coend")
+    assert isinstance(s, Cobegin)
+    assert len(s.branches) == 3
+
+
+def test_wait_signal_skip():
+    assert isinstance(parse_statement("wait(s)"), Wait)
+    assert isinstance(parse_statement("signal(s)"), Signal)
+    assert isinstance(parse_statement("skip"), Skip)
+
+
+def test_operator_precedence():
+    e = parse_expression("a + b * c")
+    assert e.op == "+"
+    assert e.right.op == "*"
+
+
+def test_left_associativity():
+    e = parse_expression("a - b - c")
+    assert e.op == "-"
+    assert e.left.op == "-"
+
+
+def test_relational_below_boolean():
+    e = parse_expression("a = 0 and b = 1")
+    assert e.op == "and"
+    assert e.left.op == "="
+
+
+def test_or_below_and():
+    e = parse_expression("a = 0 or b = 1 and c = 2")
+    assert e.op == "or"
+    assert e.right.op == "and"
+
+
+def test_not_and_unary_minus():
+    e = parse_expression("not -a = 0")
+    assert isinstance(e, UnOp) and e.op == "not"
+    assert e.operand.op == "="
+    assert isinstance(e.operand.left, UnOp)
+
+
+def test_parentheses():
+    e = parse_expression("(a + b) * c")
+    assert e.op == "*"
+    assert e.left.op == "+"
+
+
+def test_hash_is_inequality():
+    e = parse_expression("x # 0")
+    assert e.op == "#"
+
+
+def test_literals():
+    assert isinstance(parse_expression("42"), IntLit)
+    assert isinstance(parse_expression("true"), BoolLit)
+    assert parse_expression("false").value is False
+
+
+def test_mod_keyword_operator():
+    e = parse_expression("a mod 2")
+    assert e.op == "mod"
+
+
+def test_program_with_declarations():
+    p = parse_program(
+        """
+        var x, y : integer;
+            s : semaphore initially(3);
+        x := 1
+        """
+    )
+    assert p.declared("integer") == ["x", "y"]
+    assert p.declared("semaphore") == ["s"]
+    assert p.initial_values()["s"] == 3
+
+
+def test_program_without_declarations():
+    p = parse_program("x := 1")
+    assert p.decls == []
+
+
+def test_integer_with_initial_value():
+    p = parse_program("var x : integer initially(7); x := x + 1")
+    assert p.initial_values()["x"] == 7
+
+
+def test_negative_initial_value():
+    p = parse_program("var x : integer initially(-2); x := 0")
+    assert p.initial_values()["x"] == -2
+
+
+def test_locations_recorded():
+    p = parse_program("var x : integer;\nx := 1")
+    assert p.body.loc.line == 2
+
+
+def test_error_missing_then():
+    with pytest.raises(ParseError) as exc:
+        parse_statement("if x = 0 y := 1")
+    assert "then" in str(exc.value)
+
+
+def test_error_trailing_tokens():
+    with pytest.raises(ParseError):
+        parse_statement("x := 1 y := 2")
+
+
+def test_error_unclosed_begin():
+    with pytest.raises(ParseError):
+        parse_statement("begin x := 1")
+
+
+def test_error_empty_input():
+    with pytest.raises(ParseError):
+        parse_statement("")
+
+
+def test_error_reports_location():
+    with pytest.raises(ParseError) as exc:
+        parse_statement("begin x := 1;\n   := 2 end")
+    assert exc.value.line == 2
+
+
+def test_error_missing_coend():
+    with pytest.raises(ParseError):
+        parse_statement("cobegin x := 1 || y := 2")
+
+
+def test_error_assignment_to_keyword():
+    with pytest.raises(ParseError):
+        parse_statement("while := 1")

@@ -1,0 +1,73 @@
+"""Parser/lexer robustness: garbage in, clean errors out.
+
+Whatever bytes arrive, the front end must either parse or raise a
+:class:`~repro.errors.LanguageError` with a location — never an
+``IndexError``, ``RecursionError`` (at sane depths), or other internal
+failure.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import LanguageError
+from repro.lang.parser import parse_expression, parse_program, parse_statement
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse_program(text)
+    except LanguageError:
+        pass
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            ["begin", "end", "if", "then", "else", "while", "do", "cobegin",
+             "coend", "||", ";", ":=", "x", "y", "0", "1", "(", ")", "+",
+             "wait", "signal", "skip", "var", ":", "integer", ",", "=",
+             "proc", "call", "#", "<", "and", "not", "true"]
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_token_soup_never_crashes(tokens):
+    source = " ".join(tokens)
+    for entry in (parse_program, parse_statement, parse_expression):
+        try:
+            entry(source)
+        except LanguageError:
+            pass
+
+
+@given(st.integers(min_value=1, max_value=120))
+@settings(max_examples=20, deadline=None)
+def test_deep_nesting_within_reason(depth):
+    source = "if a = 0 then " * depth + "x := 1"
+    stmt = parse_statement(source)
+    from repro.lang.ast import max_nesting
+
+    assert max_nesting(stmt) == depth + 1
+
+
+@given(st.integers(min_value=1, max_value=120))
+@settings(max_examples=20, deadline=None)
+def test_deep_parentheses(depth):
+    source = "(" * depth + "x" + ")" * depth
+    expr = parse_expression(source)
+    from repro.lang.ast import Var
+
+    assert isinstance(expr, Var)
+
+
+def test_error_locations_always_positive():
+    cases = ["if", "begin x :=", "var : integer; x := 1", "x := (1 + ", "1abc"]
+    for source in cases:
+        try:
+            parse_program(source)
+            raise AssertionError(f"{source!r} unexpectedly parsed")
+        except LanguageError as exc:
+            assert exc.line is None or exc.line >= 1

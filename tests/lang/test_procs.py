@@ -1,0 +1,218 @@
+"""Procedures: parsing, validation, expansion, and analysis integration."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.core.inference import infer_binding
+from repro.errors import ValidationError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.lang.procs import Call, ProcDecl, expand_program, has_procedures
+from repro.lang.validate import validate_program
+from repro.runtime.executor import run
+
+DOUBLE = """
+proc double(in x; out y)
+  y := x * 2;
+var a, b : integer;
+call double(a; b)
+"""
+
+
+def test_parse_proc_and_call():
+    prog = parse_program(DOUBLE)
+    assert len(prog.procs) == 1
+    proc = prog.procs[0]
+    assert proc.name == "double"
+    assert proc.ins == ["x"] and proc.outs == ["y"]
+    assert isinstance(prog.body, Call)
+
+
+def test_pretty_roundtrip():
+    prog = parse_program(DOUBLE)
+    assert pretty(parse_program(pretty(prog))) == pretty(prog)
+
+
+def test_expansion_is_call_free():
+    expanded = expand_program(parse_program(DOUBLE))
+    assert not has_procedures(expanded)
+    text = pretty(expanded)
+    assert "call" not in text
+    assert "double_1_x" in text
+
+
+def test_expansion_semantics():
+    result = run(parse_program(DOUBLE), store={"a": 21})
+    assert result.store["b"] == 42
+
+
+def test_nested_calls():
+    src = """
+    proc inc(in x; out y)
+      y := x + 1;
+    proc inc2(in x; out y)
+      begin call inc(x; y); call inc(y; y) end;
+    var a, b : integer;
+    call inc2(a; b)
+    """
+    result = run(parse_program(src), store={"a": 5})
+    assert result.store["b"] == 7
+
+
+def test_call_by_value_result():
+    # The callee scribbling on its in-formal must not affect the actual.
+    src = """
+    proc scribble(in x; out y)
+      begin x := 0; y := x end;
+    var a, b : integer;
+    call scribble(a; b)
+    """
+    result = run(parse_program(src), store={"a": 9})
+    assert result.store["a"] == 9
+    assert result.store["b"] == 0
+
+
+def test_call_in_loop():
+    src = """
+    proc inc(in x; out y)
+      y := x + 1;
+    var i, acc : integer;
+    while i < 3 do
+    begin
+      call inc(acc; acc);
+      i := i + 1
+    end
+    """
+    result = run(parse_program(src))
+    assert result.store["acc"] == 3
+
+
+def test_expansion_deterministic():
+    a = pretty(expand_program(parse_program(DOUBLE)))
+    b = pretty(expand_program(parse_program(DOUBLE)))
+    assert a == b
+
+
+def test_fresh_names_avoid_collisions():
+    src = """
+    proc p(in x; out y)
+      y := x;
+    var a, p_1_x, b : integer;
+    call p(a; b)
+    """
+    expanded = expand_program(parse_program(src))
+    names = expanded.declared()
+    assert len(set(names)) == len(names)
+
+
+def test_certification_through_calls(scheme):
+    prog = parse_program(DOUBLE)
+    assert not certify(
+        prog, StaticBinding(scheme, {"a": "high", "b": "low"}, default="low")
+    ).certified
+    assert certify(
+        parse_program(DOUBLE),
+        StaticBinding(scheme, {"a": "high", "b": "high"}, default="high"),
+    ).certified
+
+
+def test_inference_through_calls(scheme):
+    result = infer_binding(parse_program(DOUBLE), scheme, {"a": "high"})
+    assert result.satisfiable
+    assert result.binding.of_var("b") == "high"
+
+
+def test_guard_flow_through_call(scheme):
+    src = """
+    proc choose(in c; out r)
+      if c = 0 then r := 1 else r := 2;
+    var h, l : integer;
+    call choose(h; l)
+    """
+    result = infer_binding(parse_program(src), scheme, {"h": "high"})
+    assert result.binding.of_var("l") == "high"
+
+
+# -- validation errors ---------------------------------------------------
+
+
+def test_undeclared_procedure():
+    probs = validate_program(parse_program("var a : integer; call nope(a;)"))
+    assert any("undeclared procedure" in str(p) for p in probs)
+
+
+def test_recursion_rejected():
+    src = """
+    proc loop(in x; out y)
+      call loop(x; y);
+    var a, b : integer;
+    call loop(a; b)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("recursion" in str(p) for p in probs)
+
+
+def test_arity_mismatch():
+    src = """
+    proc p(in x; out y)
+      y := x;
+    var a, b : integer;
+    call p(a, a; b)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("in-arguments" in str(p) for p in probs)
+
+
+def test_body_referencing_globals_rejected():
+    src = """
+    proc p(in x; out y)
+      y := x + g;
+    var a, b, g : integer;
+    call p(a; b)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("non-parameters" in str(p) for p in probs)
+
+
+def test_semaphores_in_procedures_rejected():
+    src = """
+    proc p(in x; out y)
+      begin wait(x); y := 1 end;
+    var a, b : integer;
+    call p(a; b)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("semaphores" in str(p) for p in probs)
+
+
+def test_in_out_overlap_rejected():
+    with pytest.raises(ValidationError):
+        ProcDecl("p", ["x"], ["x"], None)
+
+
+def test_duplicate_out_args():
+    src = """
+    proc p(in x; out y, z)
+      begin y := x; z := x end;
+    var a, b : integer;
+    call p(a; b, b)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("repeats an out-argument" in str(p) for p in probs)
+
+
+def test_expand_invalid_raises():
+    with pytest.raises(ValidationError):
+        expand_program(parse_program("var a : integer; call nope(a;)"))
+
+
+def test_semaphore_out_argument_rejected():
+    src = """
+    proc p(in x; out y)
+      y := x;
+    var a : integer; s : semaphore;
+    call p(a; s)
+    """
+    probs = validate_program(parse_program(src))
+    assert any("out-argument" in str(p) for p in probs)

@@ -1,0 +1,126 @@
+"""Generic lattice behaviour through the abstract interface."""
+
+import pytest
+
+from repro.errors import ElementError, NotALatticeError
+from repro.lattice.chain import ChainLattice, two_level
+from repro.lattice.finite import FiniteLattice, diamond
+
+
+def test_validate_accepts_all_standard_schemes(any_scheme):
+    any_scheme.validate()
+
+
+def test_top_and_bottom(any_scheme):
+    top, bottom = any_scheme.top, any_scheme.bottom
+    for x in any_scheme:
+        assert any_scheme.leq(x, top)
+        assert any_scheme.leq(bottom, x)
+
+
+def test_join_all_empty_is_bottom(any_scheme):
+    assert any_scheme.join_all([]) == any_scheme.bottom
+
+
+def test_meet_all_empty_is_top(any_scheme):
+    assert any_scheme.meet_all([]) == any_scheme.top
+
+
+def test_join_all_singleton(any_scheme):
+    x = any_scheme.top
+    assert any_scheme.join_all([x]) == x
+
+
+def test_join_meet_idempotent(any_scheme):
+    for x in any_scheme:
+        assert any_scheme.join(x, x) == x
+        assert any_scheme.meet(x, x) == x
+
+
+def test_join_meet_commutative(any_scheme):
+    for a in any_scheme:
+        for b in any_scheme:
+            assert any_scheme.join(a, b) == any_scheme.join(b, a)
+            assert any_scheme.meet(a, b) == any_scheme.meet(b, a)
+
+
+def test_absorption_laws(any_scheme):
+    for a in any_scheme:
+        for b in any_scheme:
+            assert any_scheme.join(a, any_scheme.meet(a, b)) == a
+            assert any_scheme.meet(a, any_scheme.join(a, b)) == a
+
+
+def test_leq_iff_join_is_upper(any_scheme):
+    for a in any_scheme:
+        for b in any_scheme:
+            assert any_scheme.leq(a, b) == (any_scheme.join(a, b) == b)
+            assert any_scheme.leq(a, b) == (any_scheme.meet(a, b) == a)
+
+
+def test_check_rejects_foreign_elements(scheme):
+    with pytest.raises(ElementError):
+        scheme.check("medium")
+
+
+def test_operations_reject_foreign_elements(scheme):
+    with pytest.raises(ElementError):
+        scheme.join("low", "nope")
+    with pytest.raises(ElementError):
+        scheme.leq("nope", "high")
+
+
+def test_contains_handles_unhashable():
+    assert not two_level().contains(["not", "hashable"])
+
+
+def test_lt_and_comparable(scheme):
+    assert scheme.lt("low", "high")
+    assert not scheme.lt("low", "low")
+    assert scheme.comparable("low", "high")
+
+
+def test_incomparable_in_diamond():
+    d = diamond()
+    assert not d.comparable("left", "right")
+    assert d.join("left", "right") == "high"
+    assert d.meet("left", "right") == "low"
+
+
+def test_upper_and_lower_sets(diamond_scheme):
+    assert diamond_scheme.upper_set("left") == frozenset({"left", "high"})
+    assert diamond_scheme.lower_set("left") == frozenset({"left", "low"})
+
+
+def test_covers(diamond_scheme):
+    assert diamond_scheme.covers("low", "left")
+    assert not diamond_scheme.covers("low", "high")  # left/right lie between
+
+
+def test_len_and_iter(scheme):
+    assert len(scheme) == 2
+    assert set(scheme) == {"low", "high"}
+
+
+def test_equivalent_is_equality_for_posets(any_scheme):
+    for a in any_scheme:
+        for b in any_scheme:
+            assert any_scheme.equivalent(a, b) == (a == b)
+
+
+def test_join_all_nonempty_requires_elements(scheme):
+    with pytest.raises(ElementError):
+        scheme.join_all_nonempty([])
+    with pytest.raises(ElementError):
+        scheme.meet_all_nonempty([])
+
+
+def test_validate_catches_broken_leq():
+    class Broken(ChainLattice):
+        def leq(self, a, b):  # not reflexive
+            self.check(a)
+            self.check(b)
+            return self.rank(a) < self.rank(b)
+
+    with pytest.raises(NotALatticeError):
+        Broken(["low", "high"]).validate()

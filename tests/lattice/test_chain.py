@@ -1,0 +1,61 @@
+"""Chain (total order) schemes."""
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.chain import ChainLattice, four_level, two_level
+
+
+def test_two_level_shape():
+    s = two_level()
+    assert s.bottom == "low"
+    assert s.top == "high"
+    assert s.leq("low", "high")
+    assert not s.leq("high", "low")
+
+
+def test_four_level_order():
+    s = four_level()
+    order = ["unclassified", "confidential", "secret", "topsecret"]
+    assert list(s.labels) == order
+    for i, a in enumerate(order):
+        for j, b in enumerate(order):
+            assert s.leq(a, b) == (i <= j)
+
+
+def test_join_meet_are_max_min():
+    s = four_level()
+    assert s.join("confidential", "secret") == "secret"
+    assert s.meet("confidential", "secret") == "confidential"
+
+
+def test_rank():
+    s = four_level()
+    assert s.rank("unclassified") == 0
+    assert s.rank("topsecret") == 3
+
+
+def test_singleton_chain():
+    s = ChainLattice(["only"])
+    assert s.top == s.bottom == "only"
+    s.validate()
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(LatticeError):
+        ChainLattice([])
+
+
+def test_duplicate_labels_rejected():
+    with pytest.raises(LatticeError):
+        ChainLattice(["a", "a"])
+
+
+def test_long_chain_validates():
+    ChainLattice([f"l{i}" for i in range(10)]).validate()
+
+
+def test_non_string_labels():
+    s = ChainLattice([0, 1, 2])
+    assert s.join(0, 2) == 2
+    assert s.bottom == 0

@@ -1,0 +1,79 @@
+"""The Definition 4 nil-extension."""
+
+import pickle
+
+from repro.lattice.chain import two_level
+from repro.lattice.extended import NIL, ExtendedLattice, Nil
+from repro.lattice.finite import diamond
+
+
+def test_nil_is_singleton():
+    assert Nil() is NIL
+    assert Nil() is Nil()
+
+
+def test_nil_survives_pickling():
+    assert pickle.loads(pickle.dumps(NIL)) is NIL
+
+
+def test_nil_below_everything():
+    ext = ExtendedLattice(two_level())
+    for x in ext:
+        assert ext.leq(NIL, x)
+    assert not ext.leq("low", NIL)
+
+
+def test_base_order_preserved():
+    ext = ExtendedLattice(diamond())
+    base = ext.base
+    for a in base:
+        for b in base:
+            assert ext.leq(a, b) == base.leq(a, b)
+
+
+def test_nil_is_join_identity():
+    ext = ExtendedLattice(two_level())
+    assert ext.join(NIL, "high") == "high"
+    assert ext.join("low", NIL) == "low"
+    assert ext.join(NIL, NIL) is NIL
+
+
+def test_nil_is_meet_annihilator():
+    ext = ExtendedLattice(two_level())
+    assert ext.meet(NIL, "high") is NIL
+    assert ext.meet("low", NIL) is NIL
+
+
+def test_top_is_base_top_bottom_is_nil():
+    ext = ExtendedLattice(two_level())
+    assert ext.top == "high"
+    assert ext.bottom is NIL
+
+
+def test_carrier_is_base_plus_nil():
+    base = two_level()
+    ext = ExtendedLattice(base)
+    assert ext.elements == base.elements | {NIL}
+
+
+def test_extension_is_still_a_lattice():
+    ExtendedLattice(diamond()).validate()
+
+
+def test_is_nil():
+    ext = ExtendedLattice(two_level())
+    assert ext.is_nil(NIL)
+    assert not ext.is_nil("low")
+
+
+def test_nil_repr():
+    assert repr(NIL) == "nil"
+
+
+def test_double_extension_rejected():
+    from repro.errors import LatticeError
+    import pytest
+
+    ext = ExtendedLattice(two_level())
+    with pytest.raises(LatticeError):
+        ExtendedLattice(ext)

@@ -1,0 +1,86 @@
+"""Explicit finite lattices and their validation."""
+
+import pytest
+
+from repro.errors import LatticeError, NotALatticeError
+from repro.lattice.finite import FiniteLattice, diamond
+
+
+def test_diamond():
+    d = diamond()
+    d.validate()
+    assert d.join("left", "right") == "high"
+    assert d.meet("left", "right") == "low"
+    assert d.leq("low", "high")  # via transitive closure
+
+
+def test_transitive_closure():
+    s = FiniteLattice(["a", "b", "c"], [("a", "b"), ("b", "c")])
+    assert s.leq("a", "c")
+
+
+def test_reflexivity_automatic():
+    s = FiniteLattice(["a"], [])
+    assert s.leq("a", "a")
+
+
+def test_cycle_rejected():
+    with pytest.raises(NotALatticeError):
+        FiniteLattice(["a", "b"], [("a", "b"), ("b", "a")])
+
+
+def test_no_upper_bound_rejected():
+    # Two maximal elements: {a, b} with nothing above both.
+    with pytest.raises(NotALatticeError):
+        FiniteLattice(["a", "b"], [])
+
+
+def test_no_least_upper_bound_rejected():
+    # a, b below both c and d; c, d incomparable: lub(a, b) ambiguous.
+    with pytest.raises(NotALatticeError):
+        FiniteLattice(
+            ["bot", "a", "b", "c", "d", "top"],
+            [
+                ("bot", "a"),
+                ("bot", "b"),
+                ("a", "c"),
+                ("a", "d"),
+                ("b", "c"),
+                ("b", "d"),
+                ("c", "top"),
+                ("d", "top"),
+            ],
+        )
+
+
+def test_unknown_element_in_order_rejected():
+    with pytest.raises(LatticeError):
+        FiniteLattice(["a"], [("a", "zzz")])
+
+
+def test_duplicates_rejected():
+    with pytest.raises(LatticeError):
+        FiniteLattice(["a", "a"], [])
+
+
+def test_empty_rejected():
+    with pytest.raises(LatticeError):
+        FiniteLattice([], [])
+
+
+def test_pentagon_is_a_lattice():
+    # N5: bot < a < top, bot < b < c < top; a incomparable to b, c.
+    n5 = FiniteLattice(
+        ["bot", "a", "b", "c", "top"],
+        [("bot", "a"), ("a", "top"), ("bot", "b"), ("b", "c"), ("c", "top")],
+    )
+    n5.validate()
+    assert n5.join("a", "b") == "top"
+    assert n5.meet("a", "c") == "bot"
+
+
+def test_chain_as_finite():
+    s = FiniteLattice([1, 2, 3], [(1, 2), (2, 3)])
+    assert s.top == 3
+    assert s.bottom == 1
+    s.validate()

@@ -1,0 +1,85 @@
+"""Property-based tests: random finite orders and lattice laws."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import NotALatticeError
+from repro.lattice.chain import ChainLattice
+from repro.lattice.finite import FiniteLattice
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import ProductLattice
+
+
+@st.composite
+def random_finite_lattice(draw):
+    """A random lattice built as a sublattice of a small powerset.
+
+    Any family of sets containing top and bottom and closed under
+    union/intersection is a lattice under inclusion; we draw such a
+    family and present it to FiniteLattice with inclusion pairs.
+    """
+    universe = draw(st.integers(min_value=1, max_value=4))
+    all_cats = list(range(universe))
+    n_extra = draw(st.integers(min_value=0, max_value=4))
+    family = {frozenset(), frozenset(all_cats)}
+    for _ in range(n_extra):
+        subset = draw(st.frozensets(st.sampled_from(all_cats)))
+        family.add(subset)
+    # Close under union and intersection.
+    changed = True
+    while changed:
+        changed = False
+        for a in list(family):
+            for b in list(family):
+                for c in (a | b, a & b):
+                    if c not in family:
+                        family.add(c)
+                        changed = True
+    elements = sorted(family, key=lambda s: (len(s), sorted(s)))
+    order = [(a, b) for a in elements for b in elements if a < b]
+    return FiniteLattice(elements, order, name="random")
+
+
+@given(random_finite_lattice())
+@settings(max_examples=40, deadline=None)
+def test_random_lattices_satisfy_axioms(lat):
+    lat.validate()
+
+
+@given(random_finite_lattice(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_associativity(lat, data):
+    elems = sorted(lat.elements, key=repr)
+    a = data.draw(st.sampled_from(elems))
+    b = data.draw(st.sampled_from(elems))
+    c = data.draw(st.sampled_from(elems))
+    assert lat.join(lat.join(a, b), c) == lat.join(a, lat.join(b, c))
+    assert lat.meet(lat.meet(a, b), c) == lat.meet(a, lat.meet(b, c))
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=8, unique=True))
+def test_chain_join_all_is_max(labels):
+    chain = ChainLattice(labels)
+    assert chain.join_all_nonempty(labels) == labels[-1]
+    assert chain.meet_all_nonempty(labels) == labels[0]
+
+
+@given(
+    st.frozensets(st.sampled_from(["a", "b", "c"])),
+    st.frozensets(st.sampled_from(["a", "b", "c"])),
+)
+def test_powerset_laws(x, y):
+    s = PowersetLattice(["a", "b", "c"])
+    assert s.leq(s.meet(x, y), x)
+    assert s.leq(x, s.join(x, y))
+    assert s.leq(x, y) == (x <= y)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_product_order_is_componentwise(data):
+    chain = ChainLattice([0, 1, 2])
+    p = ProductLattice(chain, chain)
+    a = (data.draw(st.sampled_from([0, 1, 2])), data.draw(st.sampled_from([0, 1, 2])))
+    b = (data.draw(st.sampled_from([0, 1, 2])), data.draw(st.sampled_from([0, 1, 2])))
+    assert p.leq(a, b) == (a[0] <= b[0] and a[1] <= b[1])

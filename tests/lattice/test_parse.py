@@ -1,0 +1,84 @@
+"""Parsing scheme specifications."""
+
+import pytest
+
+from repro.errors import LatticeError, NotALatticeError
+from repro.lattice.parse import load_scheme, parse_scheme
+
+
+def test_chain_spec():
+    s = parse_scheme("chain: public < internal < secret")
+    assert s.bottom == "public"
+    assert s.top == "secret"
+    assert s.leq("internal", "secret")
+
+
+def test_explicit_spec():
+    s = parse_scheme(
+        """
+        elements: bot, left, right, top
+        order: bot < left, bot < right, left < top, right < top
+        """
+    )
+    assert s.join("left", "right") == "top"
+    assert not s.comparable("left", "right")
+
+
+def test_comments_and_blank_lines():
+    s = parse_scheme(
+        """
+        # my company's levels
+        chain: a < b   # bottom to top
+        """
+    )
+    assert s.top == "b"
+
+
+def test_non_lattice_rejected():
+    with pytest.raises(NotALatticeError):
+        parse_scheme("elements: a, b\norder:")
+
+
+def test_bad_syntax():
+    with pytest.raises(LatticeError):
+        parse_scheme("chainz: a < b")
+    with pytest.raises(LatticeError):
+        parse_scheme("just some text")
+    with pytest.raises(LatticeError):
+        parse_scheme("order: a <")
+    with pytest.raises(LatticeError):
+        parse_scheme("chain: a < < b")
+    with pytest.raises(LatticeError):
+        parse_scheme("")
+
+
+def test_both_styles_rejected():
+    with pytest.raises(LatticeError):
+        parse_scheme("chain: a < b\nelements: c")
+
+
+def test_load_scheme(tmp_path):
+    path = tmp_path / "levels.scheme"
+    path.write_text("chain: green < amber < red")
+    s = load_scheme(str(path))
+    assert s.top == "red"
+
+
+def test_cli_scheme_file(tmp_path, capsys):
+    from repro.cli import main
+
+    spec = tmp_path / "levels.scheme"
+    spec.write_text("chain: public < secret")
+    prog = tmp_path / "p.rl"
+    prog.write_text("var x, y : integer; y := x")
+    code = main(
+        ["certify", str(prog), "--scheme-file", str(spec),
+         "--bind", "x=secret", "--bind", "y=public", "--quiet"]
+    )
+    assert code == 1
+    assert capsys.readouterr().out.strip() == "REJECTED"
+    code = main(
+        ["infer", str(prog), "--scheme-file", str(spec), "--bind", "x=secret"]
+    )
+    assert code == 0
+    assert "y='secret'" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Powerset (category) schemes."""
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.powerset import PowersetLattice
+
+
+def test_carrier_size():
+    s = PowersetLattice(["a", "b", "c"])
+    assert len(s) == 8
+
+
+def test_order_is_inclusion():
+    s = PowersetLattice(["a", "b"])
+    assert s.leq(frozenset(), frozenset({"a"}))
+    assert s.leq(frozenset({"a"}), frozenset({"a", "b"}))
+    assert not s.leq(frozenset({"a"}), frozenset({"b"}))
+
+
+def test_join_is_union_meet_is_intersection():
+    s = PowersetLattice(["a", "b", "c"])
+    x = frozenset({"a", "b"})
+    y = frozenset({"b", "c"})
+    assert s.join(x, y) == frozenset({"a", "b", "c"})
+    assert s.meet(x, y) == frozenset({"b"})
+
+
+def test_top_bottom():
+    s = PowersetLattice(["a", "b"])
+    assert s.top == frozenset({"a", "b"})
+    assert s.bottom == frozenset()
+
+
+def test_validates():
+    PowersetLattice(["a", "b", "c"]).validate()
+
+
+def test_empty_universe():
+    s = PowersetLattice([])
+    assert len(s) == 1
+    assert s.top == s.bottom == frozenset()
+
+
+def test_oversized_universe_rejected():
+    with pytest.raises(LatticeError):
+        PowersetLattice([f"c{i}" for i in range(17)])
+
+
+def test_universe_property():
+    s = PowersetLattice(["x", "y"])
+    assert s.universe == frozenset({"x", "y"})

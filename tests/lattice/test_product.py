@@ -1,0 +1,63 @@
+"""Product schemes (levels x categories)."""
+
+import pytest
+
+from repro.errors import ElementError, LatticeError
+from repro.lattice.chain import two_level
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import ProductLattice, military
+
+
+def test_componentwise_order():
+    p = ProductLattice(two_level(), two_level())
+    assert p.leq(("low", "low"), ("high", "low"))
+    assert not p.leq(("high", "low"), ("low", "high"))
+
+
+def test_componentwise_join_meet():
+    p = ProductLattice(two_level(), two_level())
+    assert p.join(("high", "low"), ("low", "high")) == ("high", "high")
+    assert p.meet(("high", "low"), ("low", "high")) == ("low", "low")
+
+
+def test_top_bottom():
+    p = ProductLattice(two_level(), two_level())
+    assert p.top == ("high", "high")
+    assert p.bottom == ("low", "low")
+
+
+def test_military_preset():
+    m = military(("nuclear", "crypto"))
+    assert m.bottom == ("unclassified", frozenset())
+    assert m.top == ("topsecret", frozenset({"nuclear", "crypto"}))
+    a = ("secret", frozenset({"nuclear"}))
+    b = ("confidential", frozenset({"crypto"}))
+    assert m.join(a, b) == ("secret", frozenset({"nuclear", "crypto"}))
+    assert not m.comparable(a, b)
+
+
+def test_military_validates():
+    military(("n",)).validate()
+
+
+def test_wrong_arity_rejected():
+    p = ProductLattice(two_level(), two_level())
+    with pytest.raises(ElementError):
+        p.leq(("low",), ("low", "low"))
+
+
+def test_single_component_rejected():
+    with pytest.raises(LatticeError):
+        ProductLattice(two_level())
+
+
+def test_oversized_product_rejected():
+    big = PowersetLattice([f"c{i}" for i in range(9)])
+    with pytest.raises(LatticeError):
+        ProductLattice(big, big)
+
+
+def test_three_way_product():
+    p = ProductLattice(two_level(), two_level(), two_level())
+    assert len(p) == 8
+    p.validate()

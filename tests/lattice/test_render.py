@@ -1,0 +1,49 @@
+"""Rendering helpers."""
+
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.finite import diamond
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.render import ascii_order, hasse_edges, to_dot
+
+
+def test_hasse_edges_of_chain():
+    edges = hasse_edges(four_level())
+    assert ("unclassified", "confidential") in edges
+    assert ("unclassified", "secret") not in edges  # not a covering pair
+    assert len(edges) == 3
+
+
+def test_hasse_edges_of_diamond():
+    edges = set(hasse_edges(diamond()))
+    assert edges == {
+        ("low", "left"),
+        ("low", "right"),
+        ("left", "high"),
+        ("right", "high"),
+    }
+
+
+def test_dot_output_mentions_every_element():
+    dot = to_dot(two_level())
+    assert "digraph" in dot
+    assert '"low"' in dot and '"high"' in dot
+    assert "->" in dot
+
+
+def test_dot_handles_frozenset_labels():
+    dot = to_dot(PowersetLattice(["a", "b"]))
+    assert "{a,b}" in dot
+
+
+def test_ascii_order_levels():
+    text = ascii_order(diamond())
+    lines = text.splitlines()
+    assert lines[0].strip() == "high"
+    assert set(lines[1].split()) == {"left", "right"}
+    assert lines[2].strip() == "low"
+
+
+def test_ascii_order_chain():
+    text = ascii_order(four_level())
+    assert text.splitlines()[0].strip() == "topsecret"
+    assert text.splitlines()[-1].strip() == "unclassified"

@@ -1,0 +1,140 @@
+"""Flow assertions, substitution, and the {V, L, G} shape."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.errors import AssertionFormError
+from repro.lattice.chain import two_level
+from repro.lattice.extended import ExtendedLattice
+from repro.logic.assertions import (
+    Bound,
+    FlowAssertion,
+    policy_assertion,
+    vlg_assertion,
+)
+from repro.logic.classexpr import (
+    GLOBAL,
+    LOCAL,
+    VarClass,
+    cert_expr,
+    const_expr,
+    var_class,
+)
+
+EXT = ExtendedLattice(two_level())
+
+
+def vlg(v_pairs, l="low", g="low"):
+    v = FlowAssertion(Bound(var_class(n), const_expr(c)) for n, c in v_pairs)
+    return vlg_assertion(v, const_expr(l), const_expr(g))
+
+
+def test_conjoin_unions_bounds():
+    a = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    b = FlowAssertion([Bound(var_class("y"), const_expr("high"))])
+    assert len(a.conjoin(b)) == 2
+
+
+def test_equality_is_set_like():
+    a = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    b = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_substitution_hits_both_sides():
+    a = FlowAssertion([Bound(var_class("x"), var_class("y"))])
+    out = a.substitute({VarClass("y"): const_expr("high")}, EXT)
+    (bound,) = out.bounds
+    assert bound.rhs == const_expr("high")
+
+
+def test_assignment_axiom_substitution_shape():
+    # {x <= high}[x <- e + local + global]
+    p = FlowAssertion([Bound(var_class("x"), const_expr("high"))])
+    repl = var_class("e").join(cert_expr(LOCAL), EXT).join(cert_expr(GLOBAL), EXT)
+    pre = p.substitute({VarClass("x"): repl}, EXT)
+    (bound,) = pre.bounds
+    assert bound.lhs.symbols == frozenset({VarClass("e"), LOCAL, GLOBAL})
+
+
+def test_vlg_decomposition():
+    a = vlg([("x", "high")], l="low", g="high")
+    v, local, global_ = a.vlg()
+    assert len(v) == 1
+    assert local == const_expr("low")
+    assert global_ == const_expr("high")
+
+
+def test_vlg_missing_parts_are_none():
+    a = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    v, local, global_ = a.vlg()
+    assert local is None and global_ is None
+
+
+def test_vlg_rejects_mixed_bound():
+    # sem + local + global <= g is not {V, L, G} shaped.
+    lhs = var_class("sem").join(cert_expr(LOCAL), EXT).join(cert_expr(GLOBAL), EXT)
+    a = FlowAssertion([Bound(lhs, const_expr("high"))])
+    with pytest.raises(AssertionFormError):
+        a.vlg()
+    assert not a.is_vlg()
+
+
+def test_vlg_rejects_two_distinct_local_bounds():
+    a = FlowAssertion(
+        [
+            Bound(cert_expr(LOCAL), const_expr("low")),
+            Bound(cert_expr(LOCAL), const_expr("high")),
+        ]
+    )
+    with pytest.raises(AssertionFormError):
+        a.vlg()
+
+
+def test_vlg_tolerates_duplicate_identical_bounds():
+    a = FlowAssertion(
+        [
+            Bound(cert_expr(LOCAL), const_expr("low")),
+            Bound(cert_expr(LOCAL), const_expr("low")),
+        ]
+    )
+    v, local, _ = a.vlg()
+    assert local == const_expr("low")
+
+
+def test_v_part_filters_cert_vars():
+    a = vlg([("x", "high")])
+    assert len(a.v_part()) == 1
+    assert not a.v_part().bounds == a.bounds
+
+
+def test_true_assertion():
+    assert len(FlowAssertion.true()) == 0
+    assert repr(FlowAssertion.true()) == "{true}"
+
+
+def test_policy_assertion_from_binding():
+    scheme = two_level()
+    binding = StaticBinding(scheme, {"x": "high", "y": "low"})
+    p = policy_assertion(binding)
+    assert Bound(var_class("x"), const_expr("high")) in p.bounds
+    assert Bound(var_class("y"), const_expr("low")) in p.bounds
+
+
+def test_policy_assertion_with_explicit_variables():
+    scheme = two_level()
+    binding = StaticBinding(scheme, {}, default="high")
+    p = policy_assertion(binding, ["a", "b"])
+    assert len(p) == 2
+
+
+def test_immutability():
+    a = FlowAssertion.true()
+    with pytest.raises(AttributeError):
+        a.bounds = frozenset()
+
+
+def test_non_bound_rejected():
+    with pytest.raises(AssertionFormError):
+        FlowAssertion(["not a bound"])

@@ -1,0 +1,252 @@
+"""The independent proof checker: accepts Figure 1, rejects perturbations."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.errors import ProofError
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import two_level
+from repro.lattice.extended import ExtendedLattice
+from repro.logic.assertions import Bound, FlowAssertion, vlg_assertion
+from repro.logic.checker import action_substitution, check_proof
+from repro.logic.classexpr import const_expr, var_class
+from repro.logic.generator import generate_proof
+from repro.logic.proof import ProofNode
+
+SCHEME = two_level()
+EXT = ExtendedLattice(SCHEME)
+
+
+def VLG(v_pairs, l="low", g="low"):
+    v = FlowAssertion(Bound(var_class(n), const_expr(c)) for n, c in v_pairs)
+    return vlg_assertion(v, const_expr(l), const_expr(g))
+
+
+def certified_proof(source, **classes):
+    stmt = parse_statement(source)
+    binding = StaticBinding(SCHEME, classes)
+    return stmt, binding, generate_proof(stmt, binding)
+
+
+# ----------------------------------------------------------------------
+# Hand-built proofs: the paper's section 5.2 example.
+# ----------------------------------------------------------------------
+
+
+def section52_proof():
+    s = parse_statement("begin x := 0; y := x end")
+    a1 = VLG([("x", "high"), ("y", "low")])
+    a2 = VLG([("x", "low"), ("y", "low")])  # x's class drops after x := 0
+    a3 = VLG([("x", "low"), ("y", "low")])
+    first, second = s.body
+    ax1 = ProofNode(
+        "assignment",
+        first,
+        a2.substitute(action_substitution(first, SCHEME), EXT),
+        a2,
+    )
+    n1 = ProofNode("consequence", first, a1, a2, [ax1])
+    ax2 = ProofNode(
+        "assignment",
+        second,
+        a3.substitute(action_substitution(second, SCHEME), EXT),
+        a3,
+    )
+    n2 = ProofNode("consequence", second, a2, a3, [ax2])
+    return s, ProofNode("composition", s, a1, a3, [n1, n2])
+
+
+def test_section52_hand_proof_is_valid():
+    _, proof = section52_proof()
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_section52_proof_strengthens_the_policy():
+    # The intermediate assertion x <= low is stronger than the policy
+    # x <= high, which is exactly why CFM cannot find it (Theorem 2).
+    from repro.logic.extract import is_completely_invariant
+
+    s, proof = section52_proof()
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    assert not is_completely_invariant(proof, binding)
+
+
+def test_wrong_direction_rejected():
+    # Try to prove y := x keeps y <= low while x <= high: must fail.
+    s = parse_statement("y := x")
+    post = VLG([("x", "high"), ("y", "low")])
+    pre = VLG([("x", "high"), ("y", "low")])
+    node = ProofNode("assignment", s, pre, post)
+    checked = check_proof(node, SCHEME)
+    assert not checked.ok
+
+
+# ----------------------------------------------------------------------
+# Structural rejection: each rule applied to the wrong statement.
+# ----------------------------------------------------------------------
+
+
+def test_rule_statement_mismatch():
+    s = parse_statement("x := 1")
+    a = VLG([("x", "low")])
+    for rule in ("alternation", "iteration", "composition", "concurrency",
+                 "wait", "signal", "skip"):
+        node = ProofNode(rule, s, a, a)
+        assert not check_proof(node, SCHEME).ok, rule
+
+
+def test_unknown_rule_rejected_at_construction():
+    s = parse_statement("x := 1")
+    a = VLG([("x", "low")])
+    with pytest.raises(ProofError):
+        ProofNode("induction", s, a, a)
+
+
+def test_wrong_premise_count():
+    s = parse_statement("if c = 0 then x := 1 else y := 2")
+    a = VLG([("x", "low"), ("y", "low"), ("c", "low")])
+    node = ProofNode("alternation", s, a, a, [])
+    assert not check_proof(node, SCHEME).ok
+
+
+def test_composition_premises_out_of_order():
+    stmt, binding, proof = certified_proof(
+        "begin x := 1; y := 2 end", x="low", y="low"
+    )
+    proof.premises.reverse()
+    assert not check_proof(proof, SCHEME).ok
+
+
+def test_consequence_premise_statement_mismatch():
+    s1 = parse_statement("x := 1")
+    s2 = parse_statement("y := 1")
+    a = VLG([("x", "low"), ("y", "low")])
+    inner = ProofNode(
+        "assignment", s2, a.substitute(action_substitution(s2, SCHEME), EXT), a
+    )
+    outer = ProofNode("consequence", s1, a, a, [inner])
+    assert not check_proof(outer, SCHEME).ok
+
+
+# ----------------------------------------------------------------------
+# Semantic rejection: perturbed generated proofs.
+# ----------------------------------------------------------------------
+
+
+def perturb_post(proof):
+    """Weaken a policy bound in the root postcondition illegally."""
+    bad_post = VLG([("x", "low"), ("h", "low")])
+    return ProofNode(proof.rule, proof.stmt, proof.pre, bad_post, proof.premises)
+
+
+def test_tampered_postcondition_rejected():
+    stmt, binding, proof = certified_proof("x := h", x="high", h="high")
+    # Claim the post keeps h <= low although sbind(h) = high.
+    tampered = perturb_post(proof)
+    assert not check_proof(tampered, SCHEME).ok
+
+
+def test_tampered_local_bound_rejected():
+    stmt, binding, proof = certified_proof(
+        "if h = 0 then x := 1", h="high", x="high"
+    )
+    # The alternation premises must carry local <= l + sbind(e) = high;
+    # rewrite them to claim local stayed low.
+    alt = proof
+    assert alt.rule == "alternation"
+    p1 = alt.premises[0]
+    fake_pre = VLG([("h", "high"), ("x", "high")], l="low", g="low")
+    fake_post = VLG([("h", "high"), ("x", "high")], l="low", g="low")
+    bad_axiom = ProofNode(
+        "assignment",
+        p1.stmt,
+        fake_post.substitute(action_substitution(p1.stmt, SCHEME), EXT),
+        fake_post,
+    )
+    alt.premises[0] = ProofNode("consequence", p1.stmt, fake_pre, fake_post, [bad_axiom])
+    checked = check_proof(alt, SCHEME)
+    assert not checked.ok
+
+
+def test_iteration_needs_invariance():
+    s = parse_statement("while c > 0 do x := x + 1")
+    body = s.body
+    pre_body = VLG([("c", "low"), ("x", "low")], l="low")
+    post_body = VLG([("c", "low"), ("x", "high")], l="low")  # not invariant
+    ax = ProofNode(
+        "assignment",
+        body,
+        post_body.substitute(action_substitution(body, SCHEME), EXT),
+        post_body,
+    )
+    inner = ProofNode("consequence", body, pre_body, post_body, [ax])
+    node = ProofNode("iteration", s, pre_body, post_body, [inner])
+    assert not check_proof(node, SCHEME).ok
+
+
+def test_skip_must_preserve():
+    from repro.lang.ast import Skip
+
+    sk = Skip()
+    node = ProofNode("skip", sk, VLG([("x", "high")]), VLG([("x", "low")]))
+    assert not check_proof(node, SCHEME).ok
+
+
+def test_wait_axiom_global_raise_checked():
+    # {P[...]} wait(sem) {P}: P's global bound must absorb sem's class.
+    s = parse_statement("wait(sem)")
+    post = VLG([("sem", "high")], g="low")  # global <= low after a high wait
+    pre = post.substitute(action_substitution(s, SCHEME), EXT)
+    node = ProofNode("wait", s, pre, post)
+    # The axiom itself is fine (pre is literally the substitution)...
+    assert check_proof(node, SCHEME).ok
+    # ...but no {I, local, global<=low} context can establish that pre:
+    context = VLG([("sem", "high")], g="low")
+    outer = ProofNode("consequence", s, context, post, [node])
+    assert not check_proof(outer, SCHEME).ok
+
+
+def test_generated_proofs_valid_across_paper_corpus(scheme):
+    from repro.workloads.paper import paper_programs
+    from repro.core.inference import infer_binding
+
+    for name, stmt in paper_programs().items():
+        result = infer_binding(stmt, scheme, {})
+        proof = generate_proof(stmt, result.binding)
+        checked = check_proof(proof, scheme)
+        assert checked.ok, (name, checked.problems[:3])
+
+
+def test_interference_freedom_rejects_cross_process_breakage():
+    # Process 1's proof claims x stays low forever; process 2 raises x.
+    s = parse_statement("cobegin y := x || x := h coend")
+    b1, b2 = s.branches
+    # Premise 1: {x<=low, y<=low, h<=high} y := x {same} -- relies on x low.
+    a1 = VLG([("x", "low"), ("y", "low"), ("h", "high")])
+    ax1 = ProofNode(
+        "assignment", b1, a1.substitute(action_substitution(b1, SCHEME), EXT), a1
+    )
+    n1 = ProofNode("consequence", b1, a1, a1, [ax1])
+    # Premise 2: {x<=high, y<=low, h<=high} x := h {same}.
+    a2 = VLG([("x", "high"), ("y", "low"), ("h", "high")])
+    ax2 = ProofNode(
+        "assignment", b2, a2.substitute(action_substitution(b2, SCHEME), EXT), a2
+    )
+    n2 = ProofNode("consequence", b2, a2, a2, [ax2])
+    pre = FlowAssertion(a1.bounds | a2.bounds)
+    root = ProofNode("concurrency", s, pre, pre, [n1, n2])
+    checked = check_proof(root, SCHEME)
+    assert not checked.ok
+    assert any("interference" in p for p in checked.problems)
+
+
+def test_checker_reports_all_problems():
+    s = parse_statement("begin x := h; y := h end")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "high", "h": "high"})
+    proof = generate_proof(s, binding)
+    bad_post = VLG([("x", "low"), ("y", "low"), ("h", "low")])
+    tampered = ProofNode("composition", s, bad_post, bad_post, proof.premises)
+    checked = check_proof(tampered, SCHEME)
+    assert len(checked.problems) >= 2
+    with pytest.raises(ProofError):
+        checked.raise_if_invalid()

@@ -1,0 +1,130 @@
+"""Class expressions and their normal form."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.lang.parser import parse_expression
+from repro.lattice.chain import two_level
+from repro.lattice.extended import NIL, ExtendedLattice
+from repro.logic.classexpr import (
+    GLOBAL,
+    LOCAL,
+    CertVar,
+    ClassExpr,
+    VarClass,
+    cert_expr,
+    class_of_expr,
+    const_expr,
+    join_all,
+    var_class,
+)
+
+EXT = ExtendedLattice(two_level())
+
+
+def test_symbols_are_value_equal():
+    assert VarClass("x") == VarClass("x")
+    assert VarClass("x") != VarClass("y")
+    assert CertVar("local") == LOCAL
+    assert hash(VarClass("x")) == hash(VarClass("x"))
+
+
+def test_unknown_certvar_rejected():
+    with pytest.raises(LogicError):
+        CertVar("static")
+
+
+def test_join_normalizes_symbols_and_const():
+    e = var_class("x").join(var_class("y"), EXT).join(const_expr("low"), EXT)
+    assert e.symbols == frozenset({VarClass("x"), VarClass("y")})
+    assert e.const == "low"
+
+
+def test_join_is_idempotent():
+    e = var_class("x").join(var_class("x"), EXT)
+    assert e.symbols == frozenset({VarClass("x")})
+
+
+def test_const_joins_in_lattice():
+    e = const_expr("low").join(const_expr("high"), EXT)
+    assert e.const == "high"
+
+
+def test_nil_is_join_identity():
+    e = var_class("x").join(ClassExpr(), EXT)
+    assert e == var_class("x")
+
+
+def test_substitute_replaces_symbol():
+    e = var_class("x").join(cert_expr(LOCAL), EXT)
+    repl = var_class("y").join(const_expr("high"), EXT)
+    out = e.substitute({VarClass("x"): repl}, EXT)
+    assert out.symbols == frozenset({VarClass("y"), LOCAL})
+    assert out.const == "high"
+
+
+def test_substitute_is_simultaneous():
+    # [x <- y, y <- x] must swap, not chain.
+    e = var_class("x").join(var_class("y"), EXT)
+    out = e.substitute({VarClass("x"): var_class("y"), VarClass("y"): var_class("x")}, EXT)
+    assert out.symbols == frozenset({VarClass("x"), VarClass("y")})
+
+
+def test_substitute_misses_are_identity():
+    e = var_class("x")
+    assert e.substitute({VarClass("z"): const_expr("high")}, EXT) == e
+
+
+def test_mentions():
+    e = var_class("x").join(cert_expr(GLOBAL), EXT)
+    assert e.mentions(VarClass("x"))
+    assert e.mentions(GLOBAL)
+    assert not e.mentions(LOCAL)
+    assert e.mentions_cert_vars()
+    assert not var_class("x").mentions_cert_vars()
+
+
+def test_is_constant_and_variables():
+    assert const_expr("low").is_constant
+    assert not var_class("x").is_constant
+    assert var_class("x").join(var_class("y"), EXT).variables() == frozenset({"x", "y"})
+
+
+def test_evaluate():
+    e = var_class("x").join(const_expr("low"), EXT)
+    assert e.evaluate(EXT, {VarClass("x"): "high"}) == "high"
+    assert e.evaluate(EXT, {VarClass("x"): "low"}) == "low"
+
+
+def test_evaluate_missing_symbol_raises():
+    with pytest.raises(LogicError):
+        var_class("x").evaluate(EXT, {})
+
+
+def test_immutability():
+    e = var_class("x")
+    with pytest.raises(AttributeError):
+        e.const = "high"
+
+
+def test_class_of_expr_symbols():
+    e = class_of_expr(parse_expression("a + b"), two_level())
+    assert e.symbols == frozenset({VarClass("a"), VarClass("b")})
+    assert e.const is NIL
+
+
+def test_class_of_expr_constants_are_low():
+    e = class_of_expr(parse_expression("a + 3"), two_level())
+    assert e.const == "low"
+    e2 = class_of_expr(parse_expression("42"), two_level())
+    assert e2.const == "low" and not e2.symbols
+
+
+def test_join_all_empty_is_nil_expr():
+    e = join_all([], EXT)
+    assert e == ClassExpr()
+
+
+def test_repr_stable():
+    e = var_class("x").join(cert_expr(LOCAL), EXT)
+    assert "_x_" in repr(e) and "local" in repr(e)

@@ -1,0 +1,172 @@
+"""The derivability relation P |- Q."""
+
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.extended import ExtendedLattice
+from repro.lattice.finite import diamond
+from repro.logic.assertions import Bound, FlowAssertion
+from repro.logic.classexpr import (
+    GLOBAL,
+    LOCAL,
+    VarClass,
+    cert_expr,
+    const_expr,
+    var_class,
+)
+
+EXT = ExtendedLattice(two_level())
+ENGINE = None
+
+
+def engine(ext=EXT):
+    from repro.logic.entailment import Entailment
+
+    return Entailment(ext)
+
+
+def hyp(*bounds):
+    return FlowAssertion(bounds)
+
+
+def B(lhs, rhs):
+    return Bound(lhs, rhs)
+
+
+def test_syntactic_occurrence():
+    # x <= x + y holds with no hypotheses.
+    e = engine()
+    goal = B(var_class("x"), var_class("x").join(var_class("y"), EXT))
+    assert e.entails(hyp(), goal)
+
+
+def test_constant_comparison():
+    e = engine()
+    assert e.entails(hyp(), B(const_expr("low"), const_expr("high")))
+    assert not e.entails(hyp(), B(const_expr("high"), const_expr("low")))
+
+
+def test_nil_constant_below_everything():
+    e = engine()
+    from repro.logic.classexpr import ClassExpr
+
+    assert e.entails(hyp(), B(ClassExpr(), const_expr("low")))
+
+
+def test_upper_bound_transitivity():
+    # {x <= low} |- x <= high.
+    e = engine()
+    h = hyp(B(var_class("x"), const_expr("low")))
+    assert e.entails(h, B(var_class("x"), const_expr("high")))
+    assert not e.entails(h, B(const_expr("high"), var_class("x")))
+
+
+def test_join_on_left_decomposes():
+    # {x <= low, local <= low, global <= low} |- x + local + global <= high.
+    e = engine()
+    h = hyp(
+        B(var_class("x"), const_expr("low")),
+        B(cert_expr(LOCAL), const_expr("low")),
+        B(cert_expr(GLOBAL), const_expr("low")),
+    )
+    lhs = var_class("x").join(cert_expr(LOCAL), EXT).join(cert_expr(GLOBAL), EXT)
+    assert e.entails(h, B(lhs, const_expr("high")))
+    assert e.entails(h, B(lhs, const_expr("low")))
+
+
+def test_fails_without_bound_for_some_symbol():
+    e = engine()
+    h = hyp(B(var_class("x"), const_expr("low")))
+    lhs = var_class("x").join(var_class("y"), EXT)
+    assert not e.entails(h, B(lhs, const_expr("high")))
+
+
+def test_symbol_chains():
+    # {x <= y, y <= low} |- x <= low.
+    e = engine()
+    h = hyp(B(var_class("x"), var_class("y")), B(var_class("y"), const_expr("low")))
+    assert e.entails(h, B(var_class("x"), const_expr("low")))
+
+
+def test_cyclic_hypotheses_terminate():
+    e = engine()
+    h = hyp(B(var_class("x"), var_class("y")), B(var_class("y"), var_class("x")))
+    assert e.entails(h, B(var_class("x"), var_class("y")))
+    assert not e.entails(h, B(var_class("x"), const_expr("low")))
+
+
+def test_compound_hypothesis_bounds_components():
+    # {x + y <= low} gives x <= low and y <= low.
+    e = engine()
+    h = hyp(B(var_class("x").join(var_class("y"), EXT), const_expr("low")))
+    assert e.entails(h, B(var_class("x"), const_expr("low")))
+    assert e.entails(h, B(var_class("y"), const_expr("low")))
+
+
+def test_constant_lower_bounds_of_symbols():
+    # {high <= x} |- high <= x + y.
+    e = engine()
+    h = hyp(B(const_expr("high"), var_class("x")))
+    goal = B(const_expr("high"), var_class("x").join(var_class("y"), EXT))
+    assert e.entails(h, goal)
+
+
+def test_constant_not_derivable_from_nothing():
+    e = engine()
+    assert not e.entails(hyp(), B(const_expr("high"), var_class("x")))
+
+
+def test_conjunction_goal():
+    e = engine()
+    h = hyp(B(var_class("x"), const_expr("low")))
+    goal = hyp(
+        B(var_class("x"), const_expr("high")),
+        B(const_expr("low"), const_expr("low")),
+    )
+    assert e.entails(h, goal)
+
+
+def test_equivalence():
+    e = engine()
+    a = hyp(B(var_class("x"), const_expr("low")))
+    b = hyp(B(var_class("x"), const_expr("low")))
+    assert e.equivalent(a, b)
+    c = hyp(B(var_class("x"), const_expr("high")))
+    assert not e.equivalent(a, c)
+
+
+def test_equivalence_up_to_redundancy():
+    e = engine()
+    a = hyp(B(var_class("x"), const_expr("low")))
+    b = hyp(
+        B(var_class("x"), const_expr("low")),
+        B(var_class("x"), const_expr("high")),  # redundant
+    )
+    assert e.equivalent(a, b)
+
+
+def test_four_level_chains():
+    ext = ExtendedLattice(four_level())
+    e = engine(ext)
+    h = hyp(B(var_class("x"), const_expr("confidential")))
+    assert e.entails(h, B(var_class("x"), const_expr("secret")))
+    assert not e.entails(h, B(var_class("x"), const_expr("unclassified")))
+
+
+def test_diamond_incomparability():
+    ext = ExtendedLattice(diamond())
+    e = engine(ext)
+    h = hyp(B(var_class("x"), const_expr("left")))
+    assert not e.entails(h, B(var_class("x"), const_expr("right")))
+    assert e.entails(h, B(var_class("x"), const_expr("high")))
+
+
+def test_soundness_spot_check_diamond():
+    # {x <= left, y <= right} |- x + y <= high but not <= left.
+    ext = ExtendedLattice(diamond())
+    e = engine(ext)
+    h = hyp(
+        B(var_class("x"), const_expr("left")),
+        B(var_class("y"), const_expr("right")),
+    )
+    lhs = var_class("x").join(var_class("y"), ext)
+    assert e.entails(h, B(lhs, const_expr("high")))
+    assert not e.entails(h, B(lhs, const_expr("left")))

@@ -1,0 +1,139 @@
+"""Soundness of the entailment engine, verified by brute force.
+
+``P |- Q`` must only hold when *every* valuation of the symbols (over
+the lattice) satisfying every bound of P also satisfies Q.  For small
+lattices and few symbols the semantic check is exhaustively decidable,
+so we can hammer the engine with random hypotheses/goals and verify it
+never over-claims.  (Completeness is deliberately not required — the
+engine is conservative outside the completely-invariant fragment.)
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lattice.chain import two_level
+from repro.lattice.extended import NIL, ExtendedLattice
+from repro.lattice.finite import diamond
+from repro.logic.assertions import Bound, FlowAssertion
+from repro.logic.classexpr import (
+    GLOBAL,
+    LOCAL,
+    ClassExpr,
+    VarClass,
+    cert_expr,
+    var_class,
+)
+from repro.logic.entailment import Entailment
+
+SYMBOLS = [VarClass("x"), VarClass("y"), LOCAL, GLOBAL]
+
+
+def semantic_entails(ext: ExtendedLattice, hypothesis, goal) -> bool:
+    """Exhaustive check over all symbol valuations."""
+    elements = sorted(ext.elements, key=repr)
+
+    def value(expr: ClassExpr, valuation):
+        out = expr.const
+        for s in expr.symbols:
+            out = ext.join(out, valuation[s])
+        return out
+
+    def satisfies(assertion, valuation):
+        return all(
+            ext.leq(value(b.lhs, valuation), value(b.rhs, valuation))
+            for b in assertion.bounds
+        )
+
+    goals = goal.bounds if isinstance(goal, FlowAssertion) else (goal,)
+    for combo in itertools.product(elements, repeat=len(SYMBOLS)):
+        valuation = dict(zip(SYMBOLS, combo))
+        if satisfies(hypothesis, valuation):
+            for g in goals:
+                if not ext.leq(value(g.lhs, valuation), value(g.rhs, valuation)):
+                    return False
+    return True
+
+
+@st.composite
+def class_expr(draw, ext):
+    symbols = draw(st.frozensets(st.sampled_from(SYMBOLS), max_size=2))
+    consts = sorted(ext.elements, key=repr) + [NIL]
+    const = draw(st.sampled_from(consts))
+    return ClassExpr(symbols, const)
+
+
+@st.composite
+def assertion(draw, ext, max_bounds=3):
+    n = draw(st.integers(min_value=0, max_value=max_bounds))
+    bounds = [
+        Bound(draw(class_expr(ext)), draw(class_expr(ext))) for _ in range(n)
+    ]
+    return FlowAssertion(bounds)
+
+
+@given(st.data())
+@settings(max_examples=150, deadline=None)
+def test_engine_is_sound_on_two_level(data):
+    ext = ExtendedLattice(two_level())
+    engine = Entailment(ext)
+    hyp = data.draw(assertion(ext))
+    goal = Bound(data.draw(class_expr(ext)), data.draw(class_expr(ext)))
+    if engine.entails(hyp, goal):
+        assert semantic_entails(ext, hyp, goal)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_engine_is_sound_on_diamond(data):
+    ext = ExtendedLattice(diamond())
+    engine = Entailment(ext)
+    hyp = data.draw(assertion(ext, max_bounds=2))
+    goal = Bound(data.draw(class_expr(ext)), data.draw(class_expr(ext)))
+    if engine.entails(hyp, goal):
+        assert semantic_entails(ext, hyp, goal)
+
+
+def test_engine_is_complete_on_the_invariant_fragment():
+    """Hypotheses 'symbol <= constant', goals 'join <= constant':
+    the fragment Theorems 1-2 need.  Verify agreement with semantics
+    exhaustively over the two-level lattice."""
+    ext = ExtendedLattice(two_level())
+    engine = Entailment(ext)
+    consts = ["low", "high"]
+    for bx in consts:
+        for by in consts:
+            for bl in consts:
+                hyp = FlowAssertion(
+                    [
+                        Bound(var_class("x"), ClassExpr((), bx)),
+                        Bound(var_class("y"), ClassExpr((), by)),
+                        Bound(cert_expr(LOCAL), ClassExpr((), bl)),
+                    ]
+                )
+                for lhs_syms in (
+                    frozenset(),
+                    frozenset({VarClass("x")}),
+                    frozenset({VarClass("x"), VarClass("y"), LOCAL}),
+                ):
+                    for lhs_const in ("low", "high", NIL):
+                        for rhs_const in consts:
+                            goal = Bound(
+                                ClassExpr(lhs_syms, lhs_const),
+                                ClassExpr((), rhs_const),
+                            )
+                            got = engine.entails(hyp, goal)
+                            want = semantic_entails(ext, hyp, goal)
+                            assert got == want, (hyp, goal)
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_equivalence_is_symmetric_and_reflexive(data):
+    ext = ExtendedLattice(two_level())
+    engine = Entailment(ext)
+    a = data.draw(assertion(ext))
+    b = data.draw(assertion(ext))
+    assert engine.equivalent(a, a)
+    assert engine.equivalent(a, b) == engine.equivalent(b, a)

@@ -1,0 +1,83 @@
+"""Theorem 2: completely invariant proofs imply certification."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.errors import LogicError
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import two_level
+from repro.logic.extract import (
+    certification_from_proof,
+    completely_invariant_problems,
+    is_completely_invariant,
+)
+from repro.logic.generator import generate_proof
+
+SCHEME = two_level()
+
+
+def test_generated_proofs_are_completely_invariant():
+    stmt = parse_statement("begin wait(s); x := 1; if x = 0 then y := 2 end")
+    binding = StaticBinding(SCHEME, {"s": "low", "x": "low", "y": "low"})
+    proof = generate_proof(stmt, binding)
+    assert is_completely_invariant(proof, binding)
+
+
+def test_round_trip_certification():
+    stmt = parse_statement("begin wait(s); x := 1 end")
+    binding = StaticBinding(SCHEME, {"s": "low", "x": "high"})
+    proof = generate_proof(stmt, binding)
+    report = certification_from_proof(proof, binding)
+    assert report.certified
+
+
+def test_not_invariant_for_a_different_binding():
+    stmt = parse_statement("x := 1")
+    binding = StaticBinding(SCHEME, {"x": "low"})
+    proof = generate_proof(stmt, binding)
+    other = StaticBinding(SCHEME, {"x": "high"})
+    assert not is_completely_invariant(proof, other)
+    with pytest.raises(LogicError):
+        certification_from_proof(proof, other)
+
+
+def test_problems_name_the_offending_statement():
+    stmt = parse_statement("begin x := 0; y := x end")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    # Build the section 5.2 proof (valid but policy-strengthening).
+    from tests.logic.test_checker import section52_proof
+
+    s, proof = section52_proof()
+    problems = completely_invariant_problems(proof, StaticBinding(
+        SCHEME, {"x": "high", "y": "low"}
+    ))
+    assert problems
+    assert any("policy assertion" in p for p in problems)
+
+
+def test_symbolic_bounds_are_not_constants():
+    # A proof whose local bound mentions a variable class is not
+    # completely invariant (Definition 7 requires constants).
+    from repro.logic.assertions import Bound, FlowAssertion, vlg_assertion
+    from repro.logic.classexpr import cert_expr, const_expr, var_class, LOCAL, GLOBAL
+    from repro.logic.proof import ProofNode
+    from repro.lang.ast import Skip
+
+    sk = Skip()
+    v = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    a = vlg_assertion(v, var_class("x"), const_expr("low"))  # local <= class(x)!
+    proof = ProofNode("skip", sk, a, a)
+    binding = StaticBinding(SCHEME, {"x": "low"})
+    problems = completely_invariant_problems(proof, binding)
+    assert any("not a constant" in p for p in problems)
+
+
+def test_paper_corpus_round_trips(scheme):
+    from repro.core.inference import infer_binding
+    from repro.workloads.paper import paper_programs
+
+    for name, stmt in paper_programs().items():
+        result = infer_binding(stmt, scheme, {})
+        proof = generate_proof(stmt, result.binding)
+        report = certification_from_proof(proof, result.binding)
+        assert report.certified, name

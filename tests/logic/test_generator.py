@@ -1,0 +1,170 @@
+"""Theorem 1's constructive proof generator."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.errors import GenerationError
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import four_level, two_level
+from repro.lattice.extended import NIL
+from repro.logic.checker import check_proof
+from repro.logic.classexpr import const_expr
+from repro.logic.extract import is_completely_invariant
+from repro.logic.generator import generate_proof
+
+SCHEME = two_level()
+
+
+def case(source, **classes):
+    stmt = parse_statement(source)
+    binding = StaticBinding(SCHEME, classes)
+    return stmt, binding
+
+
+def test_rejected_program_raises():
+    stmt, binding = case("y := x", x="high", y="low")
+    with pytest.raises(GenerationError):
+        generate_proof(stmt, binding)
+
+
+def test_l_g_must_be_below_mod():
+    stmt, binding = case("y := x", x="low", y="low")
+    with pytest.raises(GenerationError):
+        generate_proof(stmt, binding, l="high")  # l+g = high > mod = low
+
+
+def test_assignment_proof_shape():
+    stmt, binding = case("y := x", x="low", y="high")
+    proof = generate_proof(stmt, binding)
+    assert proof.rule == "consequence"
+    assert proof.premises[0].rule == "assignment"
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_theorem_postcondition_form():
+    """Post must be {I, local<=l, global<=g (+) l (+) flow(S)}."""
+    stmt, binding = case("begin wait(sem); y := 1 end", sem="low", y="high")
+    report = certify(stmt, binding)
+    proof = generate_proof(stmt, binding, report=report)
+    _, l_bound, g_bound = proof.post.vlg()
+    assert l_bound == const_expr("low")
+    flow = report.analysis.flow(stmt)
+    ext = binding.extended
+    expected_max = ext.join(ext.join("low", "low"), flow)
+    # Our generator keeps the tight bound, which must be <= the theorem's.
+    assert ext.leq(g_bound.const, expected_max)
+
+
+def test_flow_nil_keeps_global_tight():
+    stmt, binding = case("if h = 0 then x := 1", h="high", x="high")
+    proof = generate_proof(stmt, binding)
+    _, _, g_bound = proof.post.vlg()
+    assert g_bound == const_expr("low")  # no global flows: g unchanged
+
+
+def test_wait_raises_global():
+    stmt, binding = case("wait(sem)", sem="high")
+    proof = generate_proof(stmt, binding)
+    _, _, g_bound = proof.post.vlg()
+    assert g_bound == const_expr("high")
+
+
+def test_nondefault_l_and_g():
+    stmt, binding = case("y := x", x="high", y="high")
+    proof = generate_proof(stmt, binding, l="high", g="high")
+    _, l_bound, g_bound = proof.pre.vlg()
+    assert l_bound == const_expr("high")
+    assert g_bound == const_expr("high")
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_every_rule_form_appears(scheme):
+    source = """
+    begin
+      x := 1;
+      if x = 0 then y := 1 else skip;
+      while c > 0 do c := c - 1;
+      cobegin
+        begin signal(s); z := 1 end
+      ||
+        begin wait(s); w := 1 end
+      coend
+    end
+    """
+    stmt = parse_statement(source)
+    binding = StaticBinding(
+        scheme,
+        {n: "low" for n in ("x", "y", "c", "s", "z", "w")},
+    )
+    proof = generate_proof(stmt, binding)
+    rules = {node.rule for node in proof.walk()}
+    assert {
+        "composition",
+        "alternation",
+        "iteration",
+        "concurrency",
+        "assignment",
+        "wait",
+        "signal",
+        "skip",
+        "consequence",
+    } <= rules
+    assert check_proof(proof, scheme).ok
+    assert is_completely_invariant(proof, binding)
+
+
+def test_missing_else_gets_skip_premise():
+    stmt, binding = case("if h = 0 then x := 1", h="low", x="low")
+    proof = generate_proof(stmt, binding)
+    from repro.lang.ast import Skip
+
+    p2 = proof.premises[1]
+    inner = p2.premises[0] if p2.rule == "consequence" else p2
+    assert isinstance(inner.stmt, Skip)
+
+
+def test_while_inserts_invariant_weakening():
+    stmt, binding = case(
+        "while c > 0 do begin x := x + 1; wait(s) end",
+        c="low", x="high", s="high",
+    )
+    proof = generate_proof(stmt, binding)
+    assert proof.rule == "consequence"
+    assert proof.premises[0].rule == "iteration"
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_four_level_generation():
+    levels = four_level()
+    stmt = parse_statement("begin m := a; if m = 0 then out := 1 end")
+    binding = StaticBinding(
+        levels, {"a": "confidential", "m": "secret", "out": "topsecret"}
+    )
+    proof = generate_proof(stmt, binding)
+    assert check_proof(proof, levels).ok
+    assert is_completely_invariant(proof, binding)
+
+
+def test_figure3_proof(fig3, fig3_binding_safe):
+    proof = generate_proof(fig3, fig3_binding_safe)
+    assert check_proof(proof, fig3_binding_safe.scheme).ok
+    assert is_completely_invariant(proof, fig3_binding_safe)
+    # Concurrency rule with three interference-free premises.
+    root = proof if proof.rule == "concurrency" else proof.premises[0]
+    assert root.rule == "concurrency"
+    assert len(root.premises) == 3
+
+
+def test_report_reuse(scheme):
+    stmt, binding = case("x := 1", x="low")
+    report = certify(stmt, binding)
+    proof = generate_proof(stmt, binding, report=report)
+    assert check_proof(proof, scheme).ok
+
+
+def test_generation_notes_present():
+    stmt, binding = case("while c > 0 do c := c - 1", c="low")
+    proof = generate_proof(stmt, binding)
+    notes = [n.note for n in proof.walk() if n.note]
+    assert any("invariant" in note for note in notes)

@@ -1,0 +1,162 @@
+"""Fuzzing the proof checker: random mutations of valid proofs must be caught.
+
+The checker is the trust anchor for Theorems 1 and 2 (the generator
+never marks its own homework), so we adversarially probe it: take a
+valid generated proof, apply a random *semantic* mutation — raise or
+lower a bound, drop a policy conjunct from an axiom's reasoning, swap
+two premises, change a rule name — and assert the checker objects
+whenever the mutation actually changes what the proof claims.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.binding import StaticBinding
+from repro.errors import ProofError
+from repro.lattice.chain import two_level
+from repro.lattice.extended import ExtendedLattice
+from repro.logic.assertions import Bound, FlowAssertion
+from repro.logic.checker import check_proof
+from repro.logic.classexpr import GLOBAL, LOCAL, cert_expr, const_expr, var_class
+from repro.logic.generator import generate_proof
+from repro.logic.proof import ProofNode
+from repro.workloads.generators import random_certified_case
+
+SCHEME = two_level()
+EXT = ExtendedLattice(SCHEME)
+
+
+def clone_tree(node: ProofNode) -> ProofNode:
+    return ProofNode(
+        node.rule,
+        node.stmt,
+        node.pre,
+        node.post,
+        [clone_tree(p) for p in node.premises],
+        node.note,
+    )
+
+
+def all_nodes(node: ProofNode):
+    return list(node.walk())
+
+
+def lower_a_high_bound(assertion: FlowAssertion):
+    """Rewrite one 'high' rhs constant to 'low' (a strengthening that
+    generally cannot be justified)."""
+    changed = None
+    bounds = []
+    for b in sorted(assertion.bounds, key=repr):
+        if changed is None and b.rhs == const_expr("high"):
+            bounds.append(Bound(b.lhs, const_expr("low")))
+            changed = b
+        else:
+            bounds.append(b)
+    if changed is None:
+        return None
+    return FlowAssertion(bounds)
+
+
+@given(st.integers(min_value=0, max_value=150))
+@settings(max_examples=40, deadline=None)
+def test_lowering_a_postcondition_bound_is_caught(seed):
+    prog, binding = random_certified_case(seed, SCHEME, size=20, n_pins=3)
+    if all(c == "low" for c in binding.as_dict().values()):
+        return  # nothing high to tamper with
+    proof = generate_proof(prog, binding)
+    mutated = clone_tree(proof)
+    target = mutated  # tamper with the root's postcondition
+    lowered = lower_a_high_bound(target.post)
+    if lowered is None:
+        return
+    tampered = ProofNode(
+        target.rule, target.stmt, target.pre, lowered, target.premises
+    )
+    assert not check_proof(tampered, SCHEME).ok
+
+
+@given(st.integers(min_value=0, max_value=150), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_random_internal_bound_lowering_is_caught_or_harmless(seed, pick):
+    """Lower a random internal bound.  Either the checker rejects, or the
+    mutation left a proof that is *still valid* — in which case it must
+    still prove the original conclusion (pre unchanged, post unchanged
+    or stronger), never something unsound."""
+    prog, binding = random_certified_case(seed, SCHEME, size=18, n_pins=3)
+    proof = generate_proof(prog, binding)
+    mutated = clone_tree(proof)
+    nodes = all_nodes(mutated)
+    rng = random.Random(pick)
+    node = rng.choice(nodes)
+    which = rng.choice(["pre", "post"])
+    lowered = lower_a_high_bound(getattr(node, which))
+    if lowered is None:
+        return
+    setattr(node, which, lowered)
+    checked = check_proof(mutated, SCHEME)
+    if checked.ok:
+        # Lowering a bound *strengthens* an assertion.  A still-valid
+        # mutant therefore proves a claim with a stronger (or equal)
+        # precondition and a stronger (or equal) postcondition than the
+        # original — which is sound.  What would be unsound is a valid
+        # proof whose root assertions are *unrelated* to the original.
+        from repro.logic.entailment import Entailment
+
+        engine = Entailment(EXT)
+        assert engine.entails(mutated.pre, proof.pre)
+        assert engine.entails(mutated.post, proof.post)
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_rule_name_swap_is_caught(seed):
+    prog, binding = random_certified_case(seed, SCHEME, size=15, n_pins=2)
+    proof = generate_proof(prog, binding)
+    mutated = clone_tree(proof)
+    rng = random.Random(seed)
+    node = rng.choice(all_nodes(mutated))
+    others = [r for r in ("assignment", "wait", "signal", "skip", "alternation",
+                          "iteration", "composition", "concurrency")
+              if r != node.rule and r != "consequence"]
+    node.rule = rng.choice(others)
+    checked = check_proof(mutated, SCHEME)
+    # A rule applied to the wrong statement form must be rejected
+    # (every swap changes the statement-form requirement).
+    assert not checked.ok
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_dropping_a_premise_is_caught(seed):
+    prog, binding = random_certified_case(seed, SCHEME, size=18, n_pins=2)
+    proof = generate_proof(prog, binding)
+    mutated = clone_tree(proof)
+    candidates = [n for n in all_nodes(mutated) if len(n.premises) >= 2]
+    if not candidates:
+        return
+    rng = random.Random(seed)
+    node = rng.choice(candidates)
+    node.premises.pop(rng.randrange(len(node.premises)))
+    assert not check_proof(mutated, SCHEME).ok
+
+
+def test_swapping_composition_premises_is_caught():
+    from repro.lang.parser import parse_statement
+
+    stmt = parse_statement("begin x := h; y := x end")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "high", "h": "high"})
+    proof = generate_proof(stmt, binding)
+    proof.premises.reverse()
+    assert not check_proof(proof, SCHEME).ok
+
+
+def test_unknown_rule_is_unrepresentable():
+    from repro.lang.parser import parse_statement
+
+    stmt = parse_statement("x := 1")
+    a = FlowAssertion([Bound(var_class("x"), const_expr("low"))])
+    with pytest.raises(ProofError):
+        ProofNode("paste", stmt, a, a)

@@ -1,0 +1,70 @@
+"""Proof tree plumbing and rendering."""
+
+from repro.core.binding import StaticBinding
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import two_level
+from repro.logic.generator import generate_proof
+from repro.logic.render import proof_outline, render_proof
+
+SCHEME = two_level()
+
+
+def make_proof():
+    stmt = parse_statement("begin x := 1; if x = 0 then y := 2 end")
+    binding = StaticBinding(SCHEME, {"x": "low", "y": "low"})
+    return stmt, generate_proof(stmt, binding)
+
+
+def test_walk_is_preorder():
+    _, proof = make_proof()
+    nodes = list(proof.walk())
+    assert nodes[0] is proof
+    assert len(nodes) == proof.size()
+
+
+def test_outermost_for_prefers_outer_node():
+    stmt, proof = make_proof()
+    assign = stmt.body[0]
+    node = proof.outermost_for(assign)
+    assert node is not None
+    assert node.stmt is assign
+    # The outermost node for an axiom statement is its consequence wrapper.
+    assert node.rule in ("consequence", "assignment")
+
+
+def test_outermost_for_unknown_statement():
+    _, proof = make_proof()
+    other = parse_statement("z := 9")
+    assert proof.outermost_for(other) is None
+
+
+def test_conclusion_triple():
+    _, proof = make_proof()
+    pre, stmt, post = proof.conclusion()
+    assert pre is proof.pre and post is proof.post and stmt is proof.stmt
+
+
+def test_render_contains_assertions_and_rules():
+    _, proof = make_proof()
+    text = render_proof(proof)
+    assert "[composition]" in text
+    assert "pre:" in text and "post:" in text
+    assert "local" in text
+
+
+def test_outline_one_line_per_rule():
+    _, proof = make_proof()
+    outline = proof_outline(proof)
+    assert len(outline.splitlines()) == proof.size()
+
+
+def test_long_statements_truncated():
+    stmt = parse_statement("x := 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10 + 11 + 12")
+    binding = StaticBinding(SCHEME, {"x": "low"})
+    proof = generate_proof(stmt, binding)
+    assert "..." in render_proof(proof)
+
+
+def test_repr():
+    _, proof = make_proof()
+    assert "rule applications" in repr(proof)

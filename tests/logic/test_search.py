@@ -1,0 +1,138 @@
+"""Proof search: analysis states -> checked Figure 1 proofs."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.binding import StaticBinding
+from repro.core.flowsensitive import analyze
+from repro.core.inference import infer_binding
+from repro.errors import LogicError
+from repro.lang.parser import parse_statement
+from repro.lattice.chain import two_level
+from repro.logic.checker import check_proof
+from repro.logic.extract import is_completely_invariant
+from repro.logic.search import proof_from_analysis, state_assertion
+from repro.workloads.generators import random_program
+
+SCHEME = two_level()
+
+
+def build(source, **classes):
+    stmt = parse_statement(source)
+    binding = StaticBinding(SCHEME, classes)
+    proof = proof_from_analysis(stmt, binding)
+    return stmt, binding, proof
+
+
+def test_section52_proof_matches_the_paper():
+    stmt, binding, proof = build("begin x := 0; y := x end", x="high", y="low")
+    checked = check_proof(proof, SCHEME)
+    assert checked.ok, checked.problems
+    # The proof strengthens the policy (x <= low mid-way), so it is not
+    # completely invariant -- exactly the paper's section 5.2 point.
+    assert not is_completely_invariant(proof, binding)
+    # Pre keeps x <= high, post has x <= low.
+    pre_v, _, _ = proof.pre.vlg()
+    post_v, _, _ = proof.post.vlg()
+    assert any("high" in repr(b.rhs) for b in pre_v.bounds)
+    assert all("high" not in repr(b.rhs) for b in post_v.bounds)
+
+
+def test_if_proof_checks():
+    _, _, proof = build(
+        "begin if c = 0 then x := 0 else x := 1; y := x end",
+        c="low", x="high", y="low",
+    )
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_missing_else_proof_checks():
+    _, _, proof = build("if c = 0 then x := 1", c="low", x="low")
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_while_proof_uses_fixpoint_invariant():
+    _, _, proof = build(
+        "while c < 3 do begin acc := acc + x; c := c + 1 end",
+        c="low", acc="high", x="high",
+    )
+    assert check_proof(proof, SCHEME).ok
+    notes = [n.note for n in proof.walk() if n.note]
+    assert any("fixpoint" in note for note in notes)
+
+
+def test_wait_signal_proofs_check():
+    _, _, proof = build(
+        "begin signal(s); wait(s); y := 1 end", s="low", y="low"
+    )
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_rejected_program_raises():
+    stmt = parse_statement("y := x")
+    binding = StaticBinding(SCHEME, {"x": "high", "y": "low"})
+    with pytest.raises(LogicError):
+        proof_from_analysis(stmt, binding)
+
+
+def test_concurrent_program_refused():
+    stmt = parse_statement("cobegin x := 1 || y := 2 coend")
+    binding = StaticBinding(SCHEME, {"x": "low", "y": "low"})
+    with pytest.raises(LogicError):
+        proof_from_analysis(stmt, binding)
+
+
+def test_report_reuse():
+    stmt = parse_statement("x := 1")
+    binding = StaticBinding(SCHEME, {"x": "low"})
+    report = analyze(stmt, binding)
+    proof = proof_from_analysis(stmt, binding, report)
+    assert check_proof(proof, SCHEME).ok
+
+
+def test_state_assertion_shape(scheme):
+    from repro.core.flowsensitive import FSState
+
+    state = FSState(scheme, {"x": "high"}, "low", "high")
+    assertion = state_assertion(state)
+    v, local, global_ = assertion.vlg()
+    assert len(v) == 1
+    assert local.const == "low"
+    assert global_.const == "high"
+
+
+@given(st.integers(min_value=0, max_value=300))
+@settings(max_examples=40, deadline=None)
+def test_random_sequential_proofs_check(seed):
+    prog = random_program(seed, size=25, p_cobegin=0.0, p_sem_op=0.0)
+    binding = infer_binding(prog, SCHEME, {}).binding
+    report = analyze(prog, binding)
+    assert report.certified
+    proof = proof_from_analysis(prog, binding, report)
+    checked = check_proof(proof, SCHEME)
+    assert checked.ok, checked.problems[:3]
+
+
+@given(st.integers(min_value=0, max_value=150))
+@settings(max_examples=25, deadline=None)
+def test_random_sequential_with_sanitization(seed):
+    """Prepend a sanitizer so the proof must use flow-sensitivity."""
+    import random as _r
+
+    from repro.lang import builder as b
+    from repro.lang.ast import used_variables
+
+    prog = random_program(seed, size=18, p_cobegin=0.0, p_sem_op=0.0)
+    names = sorted(used_variables(prog.body))
+    rng = _r.Random(seed)
+    secret = rng.choice(names)
+    stmt = b.begin(b.assign(secret, 0), prog.body)
+    classes = {n: "low" for n in names}
+    classes[secret] = "high"
+    binding = StaticBinding(SCHEME, classes)
+    report = analyze(stmt, binding)
+    # After sanitizing the only high variable, everything stays low.
+    assert report.certified
+    proof = proof_from_analysis(stmt, binding, report)
+    assert check_proof(proof, SCHEME).ok

@@ -1,0 +1,133 @@
+"""Runtime enforcement: blocking violating actions as they happen."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.core.policy import PolicySpec
+from repro.errors import ReproError
+from repro.lang.ast import used_variables
+from repro.lang.parser import parse_statement
+from repro.runtime.enforce import EnforcingMonitor, SecurityViolation
+from repro.runtime.executor import run
+from repro.runtime.machine import Machine
+from repro.workloads.paper import figure3_program
+
+
+def monitor_for(stmt, binding, mode="block"):
+    return EnforcingMonitor.from_binding(binding, used_variables(stmt), mode)
+
+
+def test_direct_flow_blocked(scheme):
+    stmt = parse_statement("l := h")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding)
+    machine = Machine(stmt, monitor=monitor)
+    with pytest.raises(SecurityViolation) as exc:
+        machine.step(())
+    assert exc.value.variable == "l"
+    assert machine.store["l"] == 0  # the write never happened
+
+
+def test_compliant_program_runs_to_completion(scheme):
+    stmt = parse_statement("begin l := 1; h := l + 1 end")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding)
+    result = run(stmt, monitor=monitor)
+    assert result.completed
+    assert not monitor.blocked
+
+
+def test_taken_implicit_flow_blocked(scheme):
+    stmt = parse_statement("if h = 0 then l := 1")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding)
+    machine = Machine(stmt, store={"h": 0}, monitor=monitor)
+    machine.step(())  # the branch evaluation
+    with pytest.raises(SecurityViolation):
+        machine.step(())  # l := 1 under the high context
+
+
+def test_untaken_branch_not_blocked(scheme):
+    """The classic dynamic-enforcement blind spot, honestly pinned:
+    with h != 0 the assignment never executes, nothing is blocked, yet
+    the observer still learns h = 0 didn't hold.  CFM catches this
+    statically; the monitor cannot."""
+    stmt = parse_statement("if h = 0 then l := 1")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding)
+    result = run(stmt, store={"h": 5}, monitor=monitor)
+    assert result.completed
+    assert not monitor.blocked
+    from repro.core.cfm import certify
+
+    assert not certify(parse_statement("if h = 0 then l := 1"), binding).certified
+
+
+def test_figure3_channel_blocked_midway(scheme, fig3_binding_leaky):
+    prog = figure3_program()
+    monitor = EnforcingMonitor.from_binding(
+        fig3_binding_leaky, used_variables(prog.body)
+    )
+    with pytest.raises(SecurityViolation) as exc:
+        run(prog, store={"x": 0}, monitor=monitor, on_deadlock="raise")
+    # The first violating action is the signal under the high guard.
+    assert exc.value.variable == "modify"
+
+
+def test_log_mode_records_without_raising(scheme):
+    stmt = parse_statement("begin l := h; l := h + 1 end")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding, mode="log")
+    result = run(stmt, monitor=monitor)
+    assert result.completed
+    assert len(monitor.blocked) == 2
+    assert "assign" in str(monitor.blocked[0])
+
+
+def test_wait_blocked_when_semaphore_overflows_policy(scheme):
+    stmt = parse_statement(
+        "cobegin if h = 0 then signal(s) || begin wait(s); l := 1 end coend"
+    )
+    binding = StaticBinding(scheme, {"h": "high", "s": "high", "l": "low"})
+    monitor = monitor_for(stmt, binding)
+    # s is allowed to be high; the violation comes when the waiter,
+    # whose global absorbed s's class, writes l.
+    with pytest.raises(SecurityViolation) as exc:
+        run(stmt, store={"h": 0}, monitor=monitor)
+    assert exc.value.variable == "l"
+
+
+def test_invalid_mode(scheme):
+    with pytest.raises(ReproError):
+        EnforcingMonitor(PolicySpec(scheme, {}), {}, mode="audit")
+
+
+def test_copy_preserves_enforcement(scheme):
+    stmt = parse_statement("l := h")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding)
+    clone = monitor.copy()
+    assert isinstance(clone, EnforcingMonitor)
+    assert clone.policy is monitor.policy
+    machine = Machine(stmt, monitor=clone)
+    with pytest.raises(SecurityViolation):
+        machine.step(())
+    assert not monitor.blocked  # the original saw nothing
+
+
+def test_snapshot_includes_block_count(scheme):
+    stmt = parse_statement("l := h")
+    binding = StaticBinding(scheme, {"l": "low", "h": "high"})
+    monitor = monitor_for(stmt, binding, mode="log")
+    before = monitor.snapshot()
+    run(stmt, monitor=monitor)
+    assert monitor.snapshot() != before
+
+
+def test_policy_tighter_than_binding(scheme):
+    # Enforcement can use bounds unrelated to any static binding.
+    stmt = parse_statement("a := b")
+    policy = PolicySpec(scheme, {"a": "low"})
+    monitor = EnforcingMonitor(policy, {"a": "low", "b": "high"})
+    with pytest.raises(SecurityViolation):
+        run(stmt, monitor=monitor)

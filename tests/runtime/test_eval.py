@@ -1,0 +1,90 @@
+"""Expression evaluation."""
+
+import pytest
+
+from repro.errors import RuntimeFault, UndefinedVariableError
+from repro.lang.parser import parse_expression
+from repro.runtime.eval import evaluate
+
+
+def ev(src, **store):
+    return evaluate(parse_expression(src), store)
+
+
+def test_literals():
+    assert ev("42") == 42
+    assert ev("true") is True
+    assert ev("false") is False
+
+
+def test_variables():
+    assert ev("x", x=7) == 7
+
+
+def test_undefined_variable():
+    with pytest.raises(UndefinedVariableError):
+        ev("x")
+
+
+def test_arithmetic():
+    assert ev("2 + 3 * 4") == 14
+    assert ev("(2 + 3) * 4") == 20
+    assert ev("10 - 4 - 3") == 3
+    assert ev("-x", x=5) == -5
+
+
+def test_division_truncates_toward_zero():
+    assert ev("7 / 2") == 3
+    assert ev("-7 / 2") == -3
+    assert ev("7 / -2") == -3
+    assert ev("-7 / -2") == 3
+
+
+def test_mod_matches_truncated_division():
+    assert ev("7 mod 2") == 1
+    assert ev("-7 mod 2") == -1  # a - b * trunc(a/b)
+    assert ev("7 mod -2") == 1
+
+
+def test_division_identity():
+    # a = (a/b)*b + (a mod b) for truncated division.
+    for a in range(-9, 10):
+        for b in list(range(-4, 0)) + list(range(1, 5)):
+            q = ev("a / b", a=a, b=b)
+            r = ev("a mod b", a=a, b=b)
+            assert q * b + r == a, (a, b)
+
+
+def test_division_by_zero():
+    with pytest.raises(RuntimeFault):
+        ev("1 / 0")
+    with pytest.raises(RuntimeFault):
+        ev("1 mod 0")
+
+
+def test_comparisons():
+    assert ev("1 = 1") is True
+    assert ev("1 # 1") is False
+    assert ev("1 < 2") and ev("2 <= 2") and ev("3 > 2") and ev("3 >= 3")
+
+
+def test_boolean_connectives():
+    assert ev("1 = 1 and 2 = 2") is True
+    assert ev("1 = 2 or 2 = 2") is True
+    assert ev("not 1 = 2") is True
+
+
+def test_type_errors():
+    with pytest.raises(RuntimeFault):
+        ev("true + 1")
+    with pytest.raises(RuntimeFault):
+        ev("1 and 2 = 2")
+    with pytest.raises(RuntimeFault):
+        ev("not 3")
+    with pytest.raises(RuntimeFault):
+        ev("-(1 = 1)")
+
+
+def test_comparison_requires_integers():
+    with pytest.raises(RuntimeFault):
+        ev("true < false")

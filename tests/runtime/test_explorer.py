@@ -1,0 +1,132 @@
+"""Exhaustive interleaving exploration."""
+
+import pytest
+
+from repro.errors import ExplorationLimitExceeded
+from repro.lang.parser import parse_statement
+from repro.runtime.executor import run
+from repro.runtime.explorer import explore
+from repro.runtime.scheduler import FixedScheduler
+
+
+def test_sequential_program_single_outcome():
+    res = explore(parse_statement("begin x := 1; y := x + 1 end"))
+    assert len(res.outcomes) == 1
+    (outcome,) = res.outcomes
+    assert outcome.status == "completed"
+    assert outcome.value("y") == 2
+
+
+def test_race_produces_both_outcomes():
+    res = explore(parse_statement("cobegin x := x + 1 || x := x * 2 coend"),
+                  store={"x": 5})
+    assert res.final_values("x") == {11, 12}
+    assert res.complete
+
+
+def test_atomic_increments_do_not_lose_updates():
+    # Assignments are indivisible, so two increments always sum.
+    res = explore(parse_statement("cobegin x := x + 1 || x := x + 1 coend"))
+    assert res.final_values("x") == {2}
+
+
+def test_deadlock_detected():
+    res = explore(parse_statement(
+        "cobegin begin wait(a); signal(b) end || begin wait(b); signal(a) end coend"
+    ))
+    assert not res.deadlock_free
+    assert res.deadlock_outcomes
+
+
+def test_conditional_deadlock_found_among_interleavings():
+    # Signal under a race: the wait may or may not be satisfied.
+    s = parse_statement(
+        "cobegin begin x := 1; signal(s) end || begin wait(s); y := 1 end coend"
+    )
+    res = explore(s)
+    assert res.deadlock_free  # signal is unconditional: wait always served
+    s2 = parse_statement(
+        "cobegin if x = 1 then signal(s) || begin wait(s); y := 1 end coend"
+    )
+    res2 = explore(s2)  # x = 0: signal never happens
+    assert not res2.deadlock_free
+
+
+def test_cutoff_marks_possible_divergence():
+    res = explore(parse_statement("while true do x := x + 1"), max_depth=10)
+    assert not res.complete
+    assert any(o.status == "cutoff" for o in res.outcomes)
+
+
+def test_state_limit():
+    s = parse_statement(
+        "cobegin while a < 50 do a := a + 1 || while b < 50 do b := b + 1 coend"
+    )
+    res = explore(s, max_states=100)
+    assert not res.complete
+    with pytest.raises(ExplorationLimitExceeded):
+        explore(s, max_states=100, on_limit="raise")
+
+
+def test_memoization_collapses_identical_states():
+    # Two independent single-step branches: the diamond has 4 states,
+    # not 2 paths x 3 states.
+    res = explore(parse_statement("cobegin x := 1 || y := 1 coend"))
+    assert res.states_visited <= 5
+    assert len(res.completed_outcomes) == 1
+
+
+def test_schedules_replay_to_their_outcome():
+    s = parse_statement("cobegin x := x + 1 || x := x * 2 coend")
+    res = explore(s, store={"x": 5})
+    for outcome, schedule in res.schedules.items():
+        if outcome.status != "completed":
+            continue
+        replay = run(
+            parse_statement("cobegin x := x + 1 || x := x * 2 coend"),
+            scheduler=FixedScheduler(list(schedule)),
+            store={"x": 5},
+        )
+        # Same schedule prefix: the store must match the recorded outcome.
+        assert replay.completed
+        assert replay.store["x"] == outcome.value("x")
+
+
+def test_outcome_projection():
+    res = explore(parse_statement("begin x := 1; y := 2 end"))
+    (outcome,) = res.outcomes
+    projected = outcome.project({"x"})
+    assert projected.store == (("x", 1),)
+    with pytest.raises(KeyError):
+        projected.value("y")
+
+
+def test_monitor_states_split_outcomes(scheme):
+    # With a taint monitor attached, exploration tracks label evolution.
+    from repro.core.binding import StaticBinding
+    from repro.runtime.taint import TaintMonitor
+
+    s = parse_statement("cobegin x := h || x := 1 coend")
+    b = StaticBinding(scheme, {"x": "low", "h": "high"})
+    mon = TaintMonitor.from_binding(b, ["x", "h"])
+    res = explore(s, monitor=mon)
+    assert res.complete
+    assert res.final_values("x") == {0, 1}
+
+
+def test_figure3_exploration(fig3):
+    for xv in (0, 3):
+        res = explore(fig3, store={"x": xv})
+        assert res.complete
+        assert res.deadlock_free
+        assert res.final_values("y") == {1 if xv == 0 else 0}
+        # Semaphores restored to their initial values (paper, section 4.3).
+        for outcome in res.completed_outcomes:
+            for sem in ("modify", "modified", "read", "done"):
+                assert outcome.value(sem) == 0
+        fig3 = __import__("repro.workloads.paper", fromlist=["figure3_program"]).figure3_program()
+
+
+def test_result_repr():
+    res = explore(parse_statement("x := 1"))
+    assert "outcomes" in repr(res)

@@ -1,0 +1,82 @@
+"""Explorer consistency properties.
+
+The explorer claims to enumerate *all* interleavings; any concretely
+sampled run must therefore land inside its outcome set, and its witness
+schedules must replay.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.pretty import pretty
+from repro.lang.parser import parse_program
+from repro.runtime.executor import run
+from repro.runtime.explorer import explore
+from repro.runtime.scheduler import FixedScheduler, RandomScheduler
+from repro.workloads.generators import random_program
+
+
+def fresh(prog_source):
+    return parse_program(prog_source)
+
+
+@given(
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_sampled_runs_are_covered(seed, sched_seed):
+    prog = random_program(seed, size=14, runtime_safe=True, p_cobegin=0.3)
+    source = pretty(prog)
+    exploration = explore(prog, max_states=30_000, max_depth=400)
+    if not exploration.complete:
+        return
+    sample = run(
+        fresh(source), scheduler=RandomScheduler(sched_seed), max_steps=50_000
+    )
+    assert sample.completed
+    final_stores = {o.store for o in exploration.completed_outcomes}
+    assert tuple(sorted(sample.store.items())) in final_stores
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_witness_schedules_replay(seed):
+    prog = random_program(seed, size=12, runtime_safe=True, p_cobegin=0.35)
+    source = pretty(prog)
+    exploration = explore(prog, max_states=30_000, max_depth=400)
+    if not exploration.complete:
+        return
+    for outcome, schedule in exploration.schedules.items():
+        if outcome.status != "completed":
+            continue
+        replay = run(
+            fresh(source),
+            scheduler=FixedScheduler(list(schedule), fallback="error"),
+            max_steps=len(schedule) + 1,
+        )
+        assert replay.completed
+        assert tuple(sorted(replay.store.items())) == outcome.store
+        break  # one witness per case keeps the test fast
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_exploration_is_deterministic(seed):
+    prog_a = random_program(seed, size=12, runtime_safe=True, p_cobegin=0.3)
+    prog_b = random_program(seed, size=12, runtime_safe=True, p_cobegin=0.3)
+    ra = explore(prog_a, max_states=30_000, max_depth=400)
+    rb = explore(prog_b, max_states=30_000, max_depth=400)
+    assert ra.outcomes == rb.outcomes
+    assert ra.states_visited == rb.states_visited
+
+
+@given(st.integers(min_value=0, max_value=80))
+@settings(max_examples=20, deadline=None)
+def test_sequential_programs_have_single_outcome(seed):
+    prog = random_program(seed, size=15, runtime_safe=True, p_cobegin=0.0)
+    result = explore(prog, max_states=20_000, max_depth=2_000)
+    assert result.complete
+    assert len(result.outcomes) == 1
+    (outcome,) = result.outcomes
+    assert outcome.status == "completed"

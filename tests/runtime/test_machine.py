@@ -1,0 +1,186 @@
+"""The small-step machine: atomicity, blocking, spawning, joining."""
+
+import pytest
+
+from repro.errors import RuntimeFault
+from repro.lang.parser import parse_program, parse_statement
+from repro.runtime.machine import Machine
+
+
+def test_program_declarations_seed_the_store():
+    m = Machine(parse_program("var x : integer initially(5); s : semaphore initially(2); x := x"))
+    assert m.store == {"x": 5, "s": 2}
+
+
+def test_bare_statement_defaults_to_zero():
+    m = Machine(parse_statement("x := y"))
+    assert m.store == {"x": 0, "y": 0}
+
+
+def test_store_overrides():
+    m = Machine(parse_statement("x := y"), store={"y": 9})
+    assert m.store["y"] == 9
+
+
+def test_assignment_is_one_step():
+    m = Machine(parse_statement("x := 1 + 2 * 3"))
+    m.step(())
+    assert m.store["x"] == 7
+    assert m.done
+
+
+def test_begin_is_structural():
+    # begin of three assignments = exactly three steps.
+    m = Machine(parse_statement("begin x := 1; y := 2; z := 3 end"))
+    steps = 0
+    while not m.done:
+        m.step(m.enabled()[0])
+        steps += 1
+    assert steps == 3
+
+
+def test_if_costs_one_step_for_the_condition():
+    m = Machine(parse_statement("if 1 = 1 then x := 5"))
+    e1 = m.step(())
+    assert e1.kind == "branch"
+    assert not m.done
+    m.step(())
+    assert m.store["x"] == 5 and m.done
+
+
+def test_if_false_without_else_finishes():
+    m = Machine(parse_statement("if 1 = 2 then x := 5"))
+    m.step(())
+    assert m.done
+    assert m.store["x"] == 0
+
+
+def test_while_loop_steps():
+    m = Machine(parse_statement("while x < 2 do x := x + 1"))
+    kinds = []
+    while not m.done:
+        kinds.append(m.step(()).kind)
+    # eval-true, assign, eval-true, assign, eval-false
+    assert kinds == ["loop", "assign", "loop", "assign", "loop"]
+    assert m.store["x"] == 2
+
+
+def test_wait_blocks_on_zero_semaphore():
+    m = Machine(parse_statement("wait(s)"))
+    assert m.enabled() == []
+    assert m.deadlocked
+    with pytest.raises(RuntimeFault):
+        m.step(())
+
+
+def test_wait_proceeds_when_positive():
+    m = Machine(parse_statement("wait(s)"), store={"s": 2})
+    m.step(())
+    assert m.store["s"] == 1
+    assert m.done
+
+
+def test_signal_increments():
+    m = Machine(parse_statement("signal(s)"))
+    m.step(())
+    assert m.store["s"] == 1
+
+
+def test_cobegin_spawns_hierarchical_pids():
+    m = Machine(parse_statement("cobegin x := 1 || y := 2 coend"))
+    assert set(m.enabled()) == {(0,), (1,)}
+    assert m.processes[()].status == "joining"
+
+
+def test_join_resumes_parent():
+    m = Machine(parse_statement("begin cobegin x := 1 || y := 2 coend; z := 3 end"))
+    m.step((0,))
+    m.step((1,))
+    # Children done; parent resumed with z := 3 pending.
+    assert m.enabled() == [()]
+    m.step(())
+    assert m.done
+    assert m.store == {"x": 1, "y": 2, "z": 3}
+
+
+def test_children_removed_after_join():
+    m = Machine(parse_statement("begin cobegin x := 1 || y := 2 coend; z := 3 end"))
+    m.step((0,))
+    m.step((1,))
+    assert set(m.processes) == {()}
+
+
+def test_nested_cobegin():
+    m = Machine(
+        parse_statement("cobegin cobegin x := 1 || y := 2 coend || z := 3 coend")
+    )
+    assert set(m.enabled()) == {(0, 0), (0, 1), (1,)}
+    while not m.done:
+        m.step(m.enabled()[0])
+    assert m.store == {"x": 1, "y": 2, "z": 3}
+
+
+def test_interleaving_visibility():
+    # Two increments of a shared variable can interleave; each
+    # assignment is atomic, so the result is always 2 here.
+    m = Machine(parse_statement("cobegin x := x + 1 || x := x + 1 coend"))
+    m.step((0,))
+    m.step((1,))
+    assert m.store["x"] == 2
+
+
+def test_deadlock_detection_cross_wait():
+    m = Machine(parse_statement("cobegin begin wait(a); signal(b) end || begin wait(b); signal(a) end coend"))
+    assert m.deadlocked
+    assert m.blocked_pids() == [(0,), (1,)]
+
+
+def test_producer_unblocks_consumer():
+    m = Machine(parse_statement("cobegin begin wait(s); x := 1 end || signal(s) coend"))
+    assert m.enabled() == [(1,)]
+    m.step((1,))
+    assert m.enabled() == [(0,)]
+    m.step((0,))
+    m.step((0,))
+    assert m.done and m.store["x"] == 1
+
+
+def test_snapshot_equality_for_same_state():
+    a = parse_statement("cobegin x := 1 || y := 2 coend")
+    m1 = Machine(a)
+    m2 = m1.copy()
+    assert m1.snapshot() == m2.snapshot()
+    m1.step((0,))
+    assert m1.snapshot() != m2.snapshot()
+    m2.step((0,))
+    assert m1.snapshot() == m2.snapshot()
+
+
+def test_copy_is_independent():
+    m = Machine(parse_statement("x := 1"))
+    c = m.copy()
+    m.step(())
+    assert c.store["x"] == 0
+    c.step(())
+    assert c.done
+
+
+def test_step_on_done_process_raises():
+    m = Machine(parse_statement("x := 1"))
+    m.step(())
+    with pytest.raises(RuntimeFault):
+        m.step(())
+
+
+def test_skip_is_a_step():
+    m = Machine(parse_statement("skip"))
+    e = m.step(())
+    assert e.kind == "skip"
+    assert m.done
+
+
+def test_event_str():
+    m = Machine(parse_statement("x := 3"))
+    e = m.step(())
+    assert "assign" in str(e)
+    assert "x := 3" in str(e)

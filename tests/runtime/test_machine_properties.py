@@ -1,0 +1,163 @@
+"""Machine invariants under random schedules (property-based)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.ast import used_variables
+from repro.runtime.executor import run
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import FixedScheduler, RandomScheduler
+from repro.workloads.generators import random_program
+
+
+def drive(machine, rng_seed, max_steps=5_000):
+    """Step under a seeded random policy; return the schedule taken."""
+    import random as _random
+
+    rng = _random.Random(rng_seed)
+    schedule = []
+    while not machine.done and not machine.deadlocked:
+        if len(schedule) >= max_steps:
+            break
+        pid = rng.choice(machine.enabled())
+        machine.step(pid)
+        schedule.append(pid)
+    return schedule
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_semaphores_never_negative(seed, sched_seed):
+    prog = random_program(seed, size=20, runtime_safe=True, p_cobegin=0.3, n_sems=2)
+    machine = Machine(prog)
+    sems = [d for decl in prog.decls if decl.kind == "semaphore" for d in decl.names]
+    import random as _random
+
+    rng = _random.Random(sched_seed)
+    steps = 0
+    while not machine.done and steps < 5_000:
+        enabled = machine.enabled()
+        if not enabled:
+            break
+        machine.step(rng.choice(enabled))
+        steps += 1
+        for sem in sems:
+            assert machine.store[sem] >= 0
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_replay_determinism(seed, sched_seed):
+    """The same schedule always produces the same final store."""
+    prog = random_program(seed, size=18, runtime_safe=True, p_cobegin=0.3)
+    m1 = Machine(prog)
+    schedule = drive(m1, sched_seed)
+    result = run(
+        random_program(seed, size=18, runtime_safe=True, p_cobegin=0.3),
+        scheduler=FixedScheduler(schedule, fallback="error"),
+        max_steps=len(schedule) + 1,
+    )
+    if result.status == "completed":
+        assert result.store == m1.store
+
+
+@given(st.integers(min_value=0, max_value=150))
+@settings(max_examples=30, deadline=None)
+def test_copy_then_diverge(seed):
+    """Copies evolve independently but agree when given the same steps."""
+    prog = random_program(seed, size=16, runtime_safe=True, p_cobegin=0.3)
+    original = Machine(prog)
+    clone = original.copy()
+    assert original.snapshot() == clone.snapshot()
+    drive(original, rng_seed=1)
+    drive(clone, rng_seed=1)
+    assert original.snapshot() == clone.snapshot()  # same policy, same path
+
+
+@given(st.integers(min_value=0, max_value=150), st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_process_table_consistency(seed, sched_seed):
+    """Statuses stay in the legal set; joining parents always have live
+    children; the root survives until the end."""
+    prog = random_program(seed, size=18, runtime_safe=True, p_cobegin=0.35)
+    machine = Machine(prog)
+    import random as _random
+
+    rng = _random.Random(sched_seed)
+    steps = 0
+    while not machine.done and steps < 4_000:
+        enabled = machine.enabled()
+        if not enabled:
+            break
+        machine.step(rng.choice(enabled))
+        steps += 1
+        assert () in machine.processes
+        for pid, proc in machine.processes.items():
+            assert proc.status in ("ready", "joining", "done")
+            if proc.status == "joining":
+                kids = [p for p in machine.processes if p[:-1] == pid and p != pid]
+                assert proc.pending_children >= 1
+                assert len(kids) >= proc.pending_children
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_runtime_safe_programs_never_deadlock(seed):
+    """The runtime-safe generator's concurrency protocol guarantees
+    schedules always make progress to completion."""
+    prog = random_program(seed, size=20, runtime_safe=True, p_cobegin=0.3)
+    for sched_seed in (0, 1):
+        result = run(
+            random_program(seed, size=20, runtime_safe=True, p_cobegin=0.3),
+            scheduler=RandomScheduler(sched_seed),
+            max_steps=100_000,
+        )
+        assert result.completed
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_total_work_is_schedule_independent_for_racefree(seed):
+    """Programs without shared writes do the same number of steps under
+    any schedule (each process's control flow is private)."""
+    prog = random_program(seed, size=15, runtime_safe=True, p_cobegin=0.0)
+    a = run(random_program(seed, size=15, runtime_safe=True, p_cobegin=0.0))
+    b = run(
+        random_program(seed, size=15, runtime_safe=True, p_cobegin=0.0),
+        scheduler=RandomScheduler(9),
+    )
+    assert a.steps == b.steps
+    assert a.store == b.store
+
+
+@given(
+    st.integers(min_value=0, max_value=150),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_copy_resume_equivalence(seed, prefix_seed, suffix_seed):
+    """Copying mid-run and finishing both machines under the same policy
+    yields identical snapshots at every subsequent point."""
+    import random as _random
+
+    prog = random_program(seed, size=16, runtime_safe=True, p_cobegin=0.3)
+    machine = Machine(prog)
+    rng = _random.Random(prefix_seed)
+    for _ in range(rng.randint(0, 10)):
+        enabled = machine.enabled()
+        if not enabled:
+            break
+        machine.step(rng.choice(enabled))
+    clone = machine.copy()
+    rng_a = _random.Random(suffix_seed)
+    rng_b = _random.Random(suffix_seed)
+    for _ in range(5_000):
+        ea = machine.enabled()
+        eb = clone.enabled()
+        assert ea == eb
+        if not ea:
+            break
+        machine.step(rng_a.choice(ea))
+        clone.step(rng_b.choice(eb))
+        assert machine.snapshot() == clone.snapshot()

@@ -1,0 +1,132 @@
+"""Schedulers and the top-level executor."""
+
+import pytest
+
+from repro.errors import DeadlockError, RuntimeFault
+from repro.lang.parser import parse_statement
+from repro.runtime.executor import run
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import (
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+def test_round_robin_rotates():
+    m = Machine(parse_statement("cobegin x := x + 1 || y := y + 1 coend"))
+    sched = RoundRobinScheduler()
+    first = sched.pick(m)
+    m.step(first)
+    second = sched.pick(m)
+    assert first != second
+
+
+def test_round_robin_wraps():
+    m = Machine(parse_statement("cobegin begin x := 1; x := 2 end || y := 1 coend"))
+    sched = RoundRobinScheduler()
+    order = []
+    while not m.done:
+        pid = sched.pick(m)
+        order.append(pid)
+        m.step(pid)
+    assert order == [(0,), (1,), (0,)]
+
+
+def test_random_scheduler_deterministic_per_seed():
+    def trace(seed):
+        m = Machine(parse_statement(
+            "cobegin begin x := 1; x := 2 end || begin y := 1; y := 2 end coend"
+        ))
+        sched = RandomScheduler(seed)
+        picks = []
+        while not m.done:
+            pid = sched.pick(m)
+            picks.append(pid)
+            m.step(pid)
+        return picks
+
+    assert trace(7) == trace(7)
+    traces = {tuple(trace(s)) for s in range(20)}
+    assert len(traces) > 1  # different seeds explore different orders
+
+
+def test_fixed_scheduler_replays():
+    m = Machine(parse_statement("cobegin x := y || y := 1 coend"))
+    sched = FixedScheduler([(1,), (0,)])
+    m.step(sched.pick(m))
+    m.step(sched.pick(m))
+    assert m.store["x"] == 1  # y := 1 ran first by script
+
+
+def test_fixed_scheduler_rejects_disabled_pid():
+    m = Machine(parse_statement("cobegin x := 1 || y := 2 coend"))
+    sched = FixedScheduler([(9,)])
+    with pytest.raises(RuntimeFault):
+        sched.pick(m)
+
+
+def test_fixed_scheduler_fallback_and_error_modes():
+    m = Machine(parse_statement("begin x := 1; y := 2 end"))
+    assert FixedScheduler([]).pick(m) == ()
+    with pytest.raises(RuntimeFault):
+        FixedScheduler([], fallback="error").pick(m)
+    with pytest.raises(RuntimeFault):
+        FixedScheduler([], fallback="sometimes")
+
+
+def test_schedulers_error_with_nothing_enabled():
+    m = Machine(parse_statement("wait(s)"))
+    for sched in (RoundRobinScheduler(), RandomScheduler(0), FixedScheduler([])):
+        with pytest.raises(RuntimeFault):
+            sched.pick(m)
+
+
+# -- executor ----------------------------------------------------------
+
+
+def test_run_completes():
+    result = run(parse_statement("begin x := 1; y := x + 1 end"))
+    assert result.completed
+    assert result.store == {"x": 1, "y": 2}
+    assert result.steps == 2
+
+
+def test_run_reports_deadlock():
+    result = run(parse_statement("wait(s)"))
+    assert result.deadlocked
+    assert result.status == "deadlock"
+
+
+def test_run_raises_on_deadlock_when_asked():
+    with pytest.raises(DeadlockError):
+        run(parse_statement("wait(s)"), on_deadlock="raise")
+
+
+def test_run_step_limit():
+    result = run(parse_statement("while true do x := x + 1"), max_steps=50)
+    assert result.status == "step-limit"
+    assert result.steps == 50
+
+
+def test_run_trace_collection():
+    result = run(parse_statement("begin x := 1; skip end"), collect_trace=True)
+    assert [e.kind for e in result.trace] == ["assign", "skip"]
+
+
+def test_run_without_trace_by_default():
+    assert run(parse_statement("x := 1")).trace is None
+
+
+def test_run_with_store_and_seeded_scheduler():
+    result = run(
+        parse_statement("cobegin x := x + 1 || x := x * 2 coend"),
+        scheduler=RandomScheduler(3),
+        store={"x": 5},
+    )
+    assert result.completed
+    assert result.store["x"] in (12, 11)  # (5+1)*2 or 5*2+1
+
+
+def test_run_result_repr():
+    assert "completed" in repr(run(parse_statement("x := 1")))

@@ -1,0 +1,163 @@
+"""The dynamic label monitor mirrors the flow logic."""
+
+import pytest
+
+from repro.core.binding import StaticBinding
+from repro.errors import RuntimeFault
+from repro.lang.parser import parse_statement
+from repro.lang.ast import used_variables
+from repro.runtime.executor import run
+from repro.runtime.taint import TaintMonitor
+
+
+def monitored_run(source, binding, store=None, **kwargs):
+    stmt = parse_statement(source)
+    monitor = TaintMonitor.from_binding(binding, used_variables(stmt))
+    result = run(stmt, store=store, monitor=monitor, **kwargs)
+    return result, monitor
+
+
+def test_direct_flow(scheme):
+    b = StaticBinding(scheme, {"x": "low", "h": "high"})
+    _, mon = monitored_run("x := h", b)
+    assert mon.state.cls("x") == "high"
+    assert mon.violations(b) == [("x", "high", "low")]
+
+
+def test_constant_assignment_lowers_label(scheme):
+    # x := 0 carries only low information: the label *drops*.
+    b = StaticBinding(scheme, {"x": "high"})
+    _, mon = monitored_run("x := 0", b)
+    assert mon.state.cls("x") == "low"
+    assert mon.respects(b)
+
+
+def test_local_indirect_flow(scheme):
+    b = StaticBinding(scheme, {"h": "high", "y": "low"})
+    _, mon = monitored_run("if h = 0 then y := 1 else y := 2", b)
+    assert mon.state.cls("y") == "high"
+
+
+def test_local_context_pops(scheme):
+    # After the if, assignments are no longer tainted by the guard.
+    b = StaticBinding(scheme, {"h": "high", "y": "low", "z": "low"})
+    _, mon = monitored_run(
+        "begin if h = 0 then y := 1; z := 1 end", b
+    )
+    assert mon.state.cls("y") in ("high", "low")  # depends on branch taken
+    assert mon.state.cls("z") == "low"  # outside the branch context
+
+
+def test_untaken_branch_leaves_label(scheme):
+    # Dynamic monitoring is flow-sensitive: with h # 0, y := 1 never
+    # runs, so y's label stays put (the *static* mechanism still
+    # rejects; this is the classic dynamic-monitor blind spot).
+    b = StaticBinding(scheme, {"h": "high", "y": "low"})
+    _, mon = monitored_run("if h = 0 then y := 1", b, store={"h": 5})
+    assert mon.state.cls("y") == "low"
+
+
+def test_loop_guard_raises_global(scheme):
+    b = StaticBinding(scheme, {"h": "high", "z": "low"})
+    _, mon = monitored_run(
+        "begin while h > 0 do h := h - 1; z := 1 end", b, store={"h": 2}
+    )
+    # z is assigned after a loop whose termination depends on h.
+    assert mon.state.cls("z") == "high"
+
+
+def test_global_never_decreases(scheme):
+    b = StaticBinding(scheme, {"h": "high", "a": "low", "b": "low"})
+    _, mon = monitored_run(
+        "begin while h > 0 do h := h - 1; a := 1; b := 2 end", b, store={"h": 1}
+    )
+    assert mon.state.cls("a") == "high"
+    assert mon.state.cls("b") == "high"
+
+
+def test_wait_receives_semaphore_label(scheme):
+    b = StaticBinding(scheme, {"s": "high", "y": "low"})
+    _, mon = monitored_run("begin wait(s); y := 1 end", b, store={"s": 1})
+    assert mon.state.cls("y") == "high"
+
+
+def test_signal_carries_context_into_semaphore(scheme):
+    b = StaticBinding(scheme, {"h": "high", "s": "low", "y": "low"})
+    stmt = "cobegin if h = 0 then signal(s) || begin wait(s); y := 1 end coend"
+    _, mon = monitored_run(stmt, b, store={"h": 0})
+    assert mon.state.cls("s") == "high"  # tainted by the guard
+    assert mon.state.cls("y") == "high"  # received through the wait
+
+
+def test_spawn_inherits_context(scheme):
+    b = StaticBinding(scheme, {"h": "high", "y": "low", "s": "low"})
+    stmt = "if h = 0 then cobegin y := 1 || signal(s) coend"
+    _, mon = monitored_run(stmt, b, store={"h": 0})
+    assert mon.state.cls("y") == "high"
+    assert mon.state.cls("s") == "high"
+
+
+def test_join_merges_child_globals(scheme):
+    b = StaticBinding(scheme, {"h": "high", "z": "low", "c": "low"})
+    stmt = """
+    begin
+      cobegin
+        while h > 0 do h := h - 1
+      ||
+        c := 1
+      coend;
+      z := 1
+    end
+    """
+    _, mon = monitored_run(stmt, b, store={"h": 1})
+    # After the join, the parent inherits the loop's global flow.
+    assert mon.state.cls("z") == "high"
+
+
+def test_certified_program_respects_binding_dynamically(scheme, fig3, fig3_binding_safe):
+    from repro.lang.ast import used_variables as uv
+
+    monitor = TaintMonitor.from_binding(fig3_binding_safe, uv(fig3.body))
+    result = run(fig3, store={"x": 0}, monitor=monitor)
+    assert result.completed
+    assert monitor.respects(fig3_binding_safe)
+
+
+def test_figure3_channel_detected_dynamically(scheme, fig3, fig3_binding_leaky):
+    from repro.lang.ast import used_variables as uv
+
+    monitor = TaintMonitor.from_binding(fig3_binding_leaky, uv(fig3.body))
+    result = run(fig3, store={"x": 0}, monitor=monitor)
+    assert result.completed
+    assert monitor.state.cls("y") == "high"
+    assert not monitor.respects(fig3_binding_leaky)
+
+
+def test_monitor_copy_independent(scheme):
+    b = StaticBinding(scheme, {"x": "low", "h": "high"})
+    mon = TaintMonitor.from_binding(b, ["x", "h"])
+    clone = mon.copy()
+    mon.state.set_cls("x", "high")
+    assert clone.state.cls("x") == "low"
+
+
+def test_monitor_snapshot_changes_with_labels(scheme):
+    b = StaticBinding(scheme, {"x": "low", "h": "high"})
+    mon = TaintMonitor.from_binding(b, ["x", "h"])
+    before = mon.snapshot()
+    mon.state.set_cls("x", "high")
+    assert mon.snapshot() != before
+
+
+def test_pop_underflow_raises(scheme):
+    b = StaticBinding(scheme, {"x": "low"})
+    mon = TaintMonitor.from_binding(b, ["x"])
+    with pytest.raises(RuntimeFault):
+        mon.on_pop_local(())
+
+
+def test_unknown_process_raises(scheme):
+    b = StaticBinding(scheme, {"x": "low"})
+    mon = TaintMonitor.from_binding(b, ["x"])
+    with pytest.raises(RuntimeFault):
+        mon.local_label((9,))

@@ -1,0 +1,79 @@
+"""The advertised top-level API and performance regression guards."""
+
+import time
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_example_works():
+    program = repro.parse_program(
+        """
+        var h, l : integer;  go : semaphore initially(0);
+        cobegin
+          if h # 0 then signal(go)
+        ||
+          begin wait(go); l := 1 end
+        coend
+        """
+    )
+    scheme = repro.two_level()
+    binding = repro.StaticBinding(
+        scheme, {"h": "high", "l": "low", "go": "low"}
+    )
+    report = repro.certify(program, binding)
+    assert report.certified is False
+    result = repro.infer_binding(
+        repro.parse_program(
+            "var h, l : integer; go : semaphore; "
+            "cobegin if h # 0 then signal(go) || begin wait(go); l := 1 end coend"
+        ),
+        scheme,
+        {"h": "high"},
+    )
+    assert result.inferred["l"] == "high"
+
+
+def test_docstring_example():
+    import doctest
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+
+
+def test_version_is_exposed():
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_version(capsys):
+    import pytest
+
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_certification_performance_guard():
+    """CFM on a 10k-statement program stays within interactive budgets
+    (the section 6 linearity claim, as a regression tripwire)."""
+    from repro.core.binding import StaticBinding
+    from repro.lang.ast import used_variables
+    from repro.workloads.generators import sized_program
+
+    prog = sized_program(11, 10_000)
+    binding = StaticBinding(
+        repro.two_level(),
+        {n: "low" for n in used_variables(prog.body)},
+    )
+    start = time.perf_counter()
+    report = repro.certify(prog, binding)
+    elapsed = time.perf_counter() - start
+    assert report.certified
+    assert elapsed < 5.0, f"certification took {elapsed:.2f}s"

@@ -1,0 +1,155 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.paper import FIGURE3_SOURCE
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "fig3.rl"
+    path.write_text(FIGURE3_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def simple_file(tmp_path):
+    path = tmp_path / "simple.rl"
+    path.write_text("var x, y : integer; begin x := 1; y := x end")
+    return str(path)
+
+
+def test_certify_accepts(simple_file, capsys):
+    code = main(["certify", simple_file, "--bind", "x=low", "--bind", "y=high"])
+    assert code == 0
+    assert "CERTIFIED" in capsys.readouterr().out
+
+
+def test_certify_rejects(simple_file, capsys):
+    code = main(["certify", simple_file, "--bind", "x=high", "--bind", "y=low", "--quiet"])
+    assert code == 1
+    assert capsys.readouterr().out.strip() == "REJECTED"
+
+
+def test_certify_figure3(fig3_file, capsys):
+    code = main(["certify", fig3_file, "--bind", "x=high", "--default", "low"])
+    assert code == 1
+    assert "composition" in capsys.readouterr().out
+
+
+def test_missing_binding_reported(simple_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["certify", simple_file, "--bind", "x=low"])
+
+
+def test_bad_bind_syntax(simple_file):
+    with pytest.raises(SystemExit):
+        main(["certify", simple_file, "--bind", "xlow"])
+
+
+def test_denning_reject_mode(fig3_file, capsys):
+    code = main(["denning", fig3_file, "--default", "low"])
+    assert code == 1
+    assert "unsupported" in capsys.readouterr().out
+
+
+def test_denning_ignore_mode(fig3_file, capsys):
+    code = main(
+        ["denning", fig3_file, "--bind", "x=high", "--default", "low",
+         "--on-concurrency", "ignore"]
+    )
+    assert code == 0
+
+
+def test_infer(fig3_file, capsys):
+    code = main(["infer", fig3_file, "--bind", "x=high"])
+    assert code == 0
+    assert "y='high'" in capsys.readouterr().out
+
+
+def test_infer_unsat(fig3_file, capsys):
+    code = main(["infer", fig3_file, "--bind", "x=high", "--bind", "y=low"])
+    assert code == 1
+    assert "unsatisfiable" in capsys.readouterr().out
+
+
+def test_prove(simple_file, capsys):
+    code = main(["prove", simple_file, "--bind", "x=low", "--bind", "y=low"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "VALID" in out
+    assert "completely invariant: True" in out
+
+
+def test_prove_render(simple_file, capsys):
+    main(["prove", simple_file, "--default", "low", "--render"])
+    assert "[composition]" in capsys.readouterr().out
+
+
+def test_run(fig3_file, capsys):
+    code = main(["run", fig3_file, "--set", "x=0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "status: completed" in out
+    assert "y = 1" in out
+
+
+def test_run_with_trace_and_seed(fig3_file, capsys):
+    code = main(["run", fig3_file, "--set", "x=1", "--seed", "3", "--trace"])
+    assert code == 0
+    assert "signal" in capsys.readouterr().out
+
+
+def test_run_deadlock_exit_code(tmp_path, capsys):
+    path = tmp_path / "dl.rl"
+    path.write_text("var s : semaphore; wait(s)")
+    assert main(["run", str(path)]) == 1
+
+
+def test_explore(fig3_file, capsys):
+    code = main(["explore", fig3_file, "--set", "x=0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "complete=True" in out
+    assert "completed(" in out
+
+
+def test_report(fig3_file, capsys):
+    code = main(["report", fig3_file, "--bind", "x=high", "--default", "low", "--source"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "flow relation" in out and "cobegin" in out
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("var x : integer; x := 1"))
+    assert main(["certify", "-", "--bind", "x=low"]) == 0
+
+
+def test_validation_failure_exit(tmp_path, capsys):
+    path = tmp_path / "bad.rl"
+    path.write_text("var x : integer; y := 1")
+    with pytest.raises(SystemExit) as exc:
+        main(["certify", str(path), "--default", "low"])
+    assert exc.value.code == 2
+
+
+def test_parse_error_is_handled(tmp_path, capsys):
+    path = tmp_path / "bad.rl"
+    path.write_text("if if if")
+    code = main(["certify", str(path), "--default", "low"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_four_level_scheme(tmp_path, capsys):
+    path = tmp_path / "p.rl"
+    path.write_text("var a, b : integer; b := a")
+    code = main(
+        ["certify", str(path), "--scheme", "four-level",
+         "--bind", "a=confidential", "--bind", "b=secret"]
+    )
+    assert code == 0

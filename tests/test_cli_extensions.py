@@ -1,0 +1,128 @@
+"""CLI subcommands added beyond the core mechanisms."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.paper import FIGURE3_SOURCE
+
+
+@pytest.fixture
+def fig3_file(tmp_path):
+    path = tmp_path / "fig3.rl"
+    path.write_text(FIGURE3_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def s52_file(tmp_path):
+    path = tmp_path / "s52.rl"
+    path.write_text("var x, y : integer; begin x := 0; y := x end")
+    return str(path)
+
+
+def test_fs_certify_beats_cfm(s52_file, capsys):
+    code = main(["fs-certify", s52_file, "--bind", "x=high", "--bind", "y=low"])
+    assert code == 0
+    assert "CERTIFIED" in capsys.readouterr().out
+    code = main(["certify", s52_file, "--bind", "x=high", "--bind", "y=low", "--quiet"])
+    assert code == 1
+
+
+def test_fs_certify_rejects_figure3(fig3_file, capsys):
+    code = main(["fs-certify", fig3_file, "--bind", "x=high", "--default", "low"])
+    assert code == 1
+    assert "REJECTED" in capsys.readouterr().out
+
+
+def test_flow_command(fig3_file, capsys):
+    code = main(["flow", fig3_file])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "m -> y" in out
+    assert "flow edges" in out
+
+
+def test_ni_command_detects_channel(fig3_file, capsys):
+    code = main(
+        ["ni", fig3_file, "--bind", "x=high", "--default", "low",
+         "--observer", "low", "--vary", "x=0,1"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "holds: False" in out
+    assert "witness" in out
+
+
+def test_ni_command_passes_for_safe_program(tmp_path, capsys):
+    path = tmp_path / "safe.rl"
+    path.write_text("var h, l : integer; begin l := 1; h := h + 1 end")
+    code = main(
+        ["ni", str(path), "--bind", "h=high", "--bind", "l=low",
+         "--observer", "low", "--vary", "h=0,5"]
+    )
+    assert code == 0
+
+
+def test_leak_command_finds_witness(fig3_file, capsys):
+    code = main(
+        ["leak", fig3_file, "--bind", "x=high", "--default", "low",
+         "--observer", "low", "--values", "0,1"]
+    )
+    assert code == 1
+    assert "distinguishes" in capsys.readouterr().out
+
+
+def test_leak_command_none_for_section52(s52_file, capsys):
+    code = main(
+        ["leak", s52_file, "--bind", "x=high", "--bind", "y=low",
+         "--observer", "low", "--values", "0,1"]
+    )
+    assert code == 0
+    assert "no leak witness" in capsys.readouterr().out
+
+
+def test_bad_observer_class(fig3_file):
+    with pytest.raises(SystemExit):
+        main(["leak", fig3_file, "--default", "low", "--observer", "medium"])
+
+
+def test_bindings_file(tmp_path, capsys):
+    import json
+
+    prog = tmp_path / "p.rl"
+    prog.write_text("var x, y : integer; y := x")
+    binds = tmp_path / "b.json"
+    binds.write_text(json.dumps({"x": "low", "y": "low"}))
+    assert main(["certify", str(prog), "--bindings", str(binds), "--quiet"]) == 0
+    # --bind overrides the file.
+    assert main(
+        ["certify", str(prog), "--bindings", str(binds), "--bind", "x=high", "--quiet"]
+    ) == 1
+
+
+def test_bindings_file_must_be_object(tmp_path):
+    prog = tmp_path / "p.rl"
+    prog.write_text("var x : integer; x := 1")
+    binds = tmp_path / "b.json"
+    binds.write_text("[1, 2]")
+    with pytest.raises(SystemExit):
+        main(["certify", str(prog), "--bindings", str(binds)])
+
+
+def test_infer_with_bindings_file(tmp_path, capsys):
+    import json
+
+    prog = tmp_path / "p.rl"
+    prog.write_text("var x, y : integer; y := x")
+    binds = tmp_path / "b.json"
+    binds.write_text(json.dumps({"x": "high"}))
+    assert main(["infer", str(prog), "--bindings", str(binds)]) == 0
+    assert "y='high'" in capsys.readouterr().out
+
+
+def test_run_timeline(tmp_path, capsys):
+    prog = tmp_path / "p.rl"
+    prog.write_text("var x, y : integer; cobegin x := 1 || y := 2 coend")
+    assert main(["run", str(prog), "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "step" in out and "x := 1" in out

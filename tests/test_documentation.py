@@ -1,0 +1,83 @@
+"""Documentation is part of the deliverable: enforce it mechanically."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.lattice",
+    "repro.lang",
+    "repro.core",
+    "repro.logic",
+    "repro.runtime",
+    "repro.analysis",
+    "repro.workloads",
+]
+
+
+def all_modules():
+    names = set(PACKAGES)
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                names.add(f"{pkg_name}.{info.name}")
+    names.add("repro.cli")
+    names.add("repro.errors")
+    return sorted(names)
+
+
+def test_every_module_has_a_docstring():
+    for name in all_modules():
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_every_exported_name_is_documented():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            obj = getattr(pkg, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{pkg_name}.{name} lacks a docstring"
+
+
+def test_public_classes_document_their_methods():
+    """Spot the load-bearing classes: every public method documented."""
+    from repro.core.cfm import CertificationReport
+    from repro.lattice.base import Lattice
+    from repro.logic.proof import ProofNode
+    from repro.runtime.machine import Machine
+
+    for cls in (Lattice, Machine, CertificationReport, ProofNode):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name}"
+
+
+def test_design_and_experiments_exist_and_crosslink():
+    from pathlib import Path
+
+    root = Path(repro.__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    experiments = (root / "EXPERIMENTS.md").read_text()
+    readme = (root / "README.md").read_text()
+    # every experiment id in DESIGN appears in EXPERIMENTS
+    for eid in [f"E{i}" for i in range(1, 14)]:
+        assert eid in design, eid
+        assert eid in experiments, eid
+    assert "DESIGN.md" in readme and "EXPERIMENTS.md" in readme
+
+
+def test_examples_have_module_docstrings():
+    from pathlib import Path
+
+    root = Path(repro.__file__).resolve().parents[2]
+    for script in sorted((root / "examples").glob("*.py")):
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), script.name
+        assert "Run:" in text, f"{script.name} should say how to run it"

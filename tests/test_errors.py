@@ -1,0 +1,57 @@
+"""The exception hierarchy: one root, informative payloads."""
+
+import pytest
+
+import repro.errors as E
+
+
+def test_everything_derives_from_repro_error():
+    roots = [
+        E.LatticeError, E.NotALatticeError, E.ElementError,
+        E.LanguageError, E.LexError, E.ParseError, E.ValidationError,
+        E.BindingError, E.CertificationError, E.InferenceError,
+        E.LogicError, E.AssertionFormError, E.ProofError,
+        E.EntailmentError, E.GenerationError,
+        E.RuntimeFault, E.UndefinedVariableError, E.SemaphoreError,
+        E.DeadlockError, E.StepLimitExceeded, E.ExplorationLimitExceeded,
+    ]
+    for exc in roots:
+        assert issubclass(exc, E.ReproError), exc
+
+
+def test_language_errors_carry_locations():
+    exc = E.ParseError("boom", 3, 7)
+    assert exc.line == 3 and exc.column == 7
+    assert str(exc).startswith("3:7:")
+    bare = E.LexError("boom")
+    assert bare.line is None
+    assert str(bare) == "boom"
+
+
+def test_deadlock_error_blocked_list():
+    exc = E.DeadlockError("stuck", blocked=[(0,), (1,)])
+    assert exc.blocked == ((0,), (1,))
+    assert E.DeadlockError("stuck").blocked == ()
+
+
+def test_sub_hierarchies():
+    assert issubclass(E.LexError, E.LanguageError)
+    assert issubclass(E.GenerationError, E.LogicError)
+    assert issubclass(E.DeadlockError, E.RuntimeFault)
+    assert not issubclass(E.BindingError, E.LanguageError)
+
+
+def test_one_catch_handles_all():
+    from repro.lang.parser import parse_statement
+
+    with pytest.raises(E.ReproError):
+        parse_statement("if if")
+
+
+def test_security_violation_is_repro_error():
+    from repro.runtime.enforce import SecurityViolation
+
+    exc = SecurityViolation("no", "x", "high", "low")
+    assert isinstance(exc, E.ReproError)
+    assert exc.variable == "x"
+    assert exc.cls == "high" and exc.bound == "low"

@@ -1,0 +1,94 @@
+"""Random program generators."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.metrics import measure
+from repro.core.cfm import certify
+from repro.lang.ast import program_size
+from repro.lang.validate import validate_program
+from repro.runtime.executor import run
+from repro.workloads.generators import (
+    GeneratorConfig,
+    ProgramGenerator,
+    random_certified_case,
+    random_program,
+    sized_program,
+)
+
+
+def test_determinism():
+    from repro.lang.pretty import pretty
+
+    assert pretty(random_program(5)) == pretty(random_program(5))
+    assert pretty(random_program(5)) != pretty(random_program(6))
+
+
+def test_generated_programs_validate():
+    for seed in range(30):
+        prog = random_program(seed, size=30, p_cobegin=0.25, p_sem_op=0.2)
+        assert validate_program(prog) == [], seed
+
+
+def test_runtime_safe_programs_terminate():
+    for seed in range(15):
+        prog = random_program(seed, size=25, runtime_safe=True, p_cobegin=0.25)
+        result = run(prog, max_steps=100_000)
+        assert result.completed, seed
+
+
+def test_runtime_safe_has_no_unbounded_loops():
+    for seed in range(10):
+        prog = random_program(seed, size=30, runtime_safe=True)
+        m = measure(prog)
+        # every while in runtime_safe mode is counter-bounded; a crude
+        # but effective check is that execution terminates quickly.
+        result = run(prog, max_steps=5_000)
+        assert result.status != "step-limit"
+
+
+def test_sized_program_hits_target():
+    for target in (50, 200, 1000):
+        prog = sized_program(1, target)
+        size = program_size(prog.body)
+        assert abs(size - target) <= 2, (target, size)
+
+
+def test_certified_cases_certify():
+    from repro.lattice.chain import two_level
+
+    scheme = two_level()
+    for seed in range(20):
+        prog, binding = random_certified_case(seed, scheme, size=30, n_pins=3)
+        assert certify(prog, binding).certified, seed
+
+
+def test_certified_cases_use_nontrivial_classes_sometimes():
+    from repro.lattice.chain import two_level
+
+    scheme = two_level()
+    saw_high = False
+    for seed in range(30):
+        _, binding = random_certified_case(seed, scheme, size=25, n_pins=3)
+        if any(c == "high" for c in binding.as_dict().values()):
+            saw_high = True
+            break
+    assert saw_high
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_generator_never_emits_invalid_programs(seed):
+    prog = random_program(seed, size=20, p_cobegin=0.3, p_sem_op=0.25, n_sems=3)
+    assert validate_program(prog) == []
+
+
+def test_concurrency_knob():
+    no_conc = random_program(3, size=60, p_cobegin=0.0, p_sem_op=0.0)
+    assert not measure(no_conc).has_concurrency
+
+
+def test_config_defaults():
+    gen = ProgramGenerator(GeneratorConfig(size=10), seed=1)
+    stmt = gen.statement()
+    assert program_size(stmt) >= 1

@@ -1,0 +1,103 @@
+"""The paper program corpus behaves exactly as the paper describes."""
+
+from repro.core.binding import StaticBinding
+from repro.core.cfm import certify
+from repro.lang.validate import validate_program
+from repro.runtime.executor import run
+from repro.runtime.explorer import explore
+from repro.workloads.paper import (
+    figure3_looped,
+    figure3_program,
+    figure3_sequential_equivalent,
+    paper_programs,
+)
+
+
+def test_figure3_parses_and_validates():
+    assert validate_program(figure3_program()) == []
+
+
+def test_figure3_matches_sequential_equivalent():
+    """Section 4.3: same effect on x and y as the sequential program."""
+    for xv in range(0, 4):
+        par = explore(figure3_program(), store={"x": xv})
+        seq = run(figure3_sequential_equivalent(), store={"x": xv})
+        assert par.complete and par.deadlock_free
+        assert par.final_values("y") == {seq.store["y"]}
+
+
+def test_figure3_cannot_deadlock_any_schedule():
+    """Section 4.3: 'the program of Figure 3 cannot deadlock'."""
+    for xv in (0, 1, 7):
+        assert explore(figure3_program(), store={"x": xv}).deadlock_free
+
+
+def test_figure3_semaphores_restored():
+    """Section 4.3: 'the final values of the semaphores are the same as
+    their initial values'."""
+    res = explore(figure3_program(), store={"x": 1})
+    for outcome in res.completed_outcomes:
+        for sem in ("modify", "modified", "read", "done"):
+            assert outcome.value(sem) == 0
+
+
+def test_figure3_execution_is_fully_sequentialized():
+    """The extra semaphores force one interleaving: a single outcome and
+    a linear state graph."""
+    res = explore(figure3_program(), store={"x": 0})
+    assert len(res.outcomes) == 1
+
+
+def test_looped_figure3_transmits_arbitrary_bits():
+    """Section 4.3's closing remark: loop the processes to move any
+    amount of information."""
+    pipe = figure3_looped(bits=6)
+    for xv in (0, 1, 42, 63):
+        result = run(pipe, store={"x": xv}, max_steps=50_000)
+        assert result.completed
+        assert result.store["y"] == xv % 64
+
+
+def test_looped_figure3_under_random_schedules():
+    from repro.runtime.scheduler import RandomScheduler
+
+    pipe_src = figure3_looped(bits=4)
+    for seed in range(5):
+        result = run(
+            figure3_looped(bits=4),
+            scheduler=RandomScheduler(seed),
+            store={"x": 11},
+            max_steps=50_000,
+        )
+        assert result.completed
+        assert result.store["y"] == 11
+
+
+def test_corpus_is_complete():
+    names = set(paper_programs())
+    assert names == {
+        "figure3",
+        "figure3-sequential",
+        "s22-if",
+        "s22-while",
+        "s22-cobegin",
+        "s42-loop",
+        "s42-composition",
+        "s52-begin",
+    }
+
+
+def test_corpus_returns_fresh_nodes():
+    a = paper_programs()["figure3"]
+    b = paper_programs()["figure3"]
+    assert a is not b
+    assert a.uid != b.uid
+
+
+def test_every_fragment_is_certifiable_under_some_binding(scheme):
+    from repro.core.inference import infer_binding
+
+    for name, stmt in paper_programs().items():
+        result = infer_binding(stmt, scheme, {})
+        assert result.satisfiable, name
+        assert certify(stmt, result.binding).certified, name

@@ -1,0 +1,61 @@
+"""Named corpora."""
+
+import pytest
+
+from repro.lang.validate import validate_program
+from repro.lang.ast import Program
+from repro.workloads.suites import corpus, corpus_names
+
+
+def test_names():
+    assert set(corpus_names()) == {
+        "paper", "sequential", "concurrent", "runtime", "litmus",
+    }
+
+
+def test_litmus_corpus_materializes():
+    entries = corpus("litmus")
+    assert len(entries) >= 17
+    names = [n for n, _ in entries]
+    assert "sanitize-then-copy" in names
+
+
+def test_unknown_corpus():
+    with pytest.raises(KeyError):
+        corpus("nope")
+
+
+def test_paper_corpus_nonempty():
+    entries = corpus("paper")
+    assert len(entries) == 8
+    names = [n for n, _ in entries]
+    assert names == sorted(names)
+
+
+def test_generated_corpora_validate():
+    for name in ("sequential", "concurrent", "runtime"):
+        for entry_name, prog in corpus(name):
+            assert isinstance(prog, Program)
+            assert validate_program(prog) == [], entry_name
+
+
+def test_sequential_corpus_is_sequential():
+    from repro.analysis.metrics import measure
+
+    for entry_name, prog in corpus("sequential"):
+        assert not measure(prog).has_concurrency, entry_name
+
+
+def test_corpora_are_reproducible():
+    from repro.lang.pretty import pretty
+
+    a = [pretty(p) for _, p in corpus("concurrent")]
+    b = [pretty(p) for _, p in corpus("concurrent")]
+    assert a == b
+
+
+def test_runtime_corpus_terminates():
+    from repro.runtime.executor import run
+
+    for entry_name, prog in corpus("runtime")[:8]:
+        assert run(prog, max_steps=100_000).completed, entry_name
