@@ -39,3 +39,19 @@ def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     num = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
     den = sum((a - mean_x) ** 2 for a in lx)
     return num / den
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write a benchmark artifact as ``BENCH_<name>.json`` in the repo root.
+
+    Artifacts are machine-readable companions to the printed tables, so
+    runs can be diffed across commits.  Returns the path written.
+    """
+    import json
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

@@ -19,9 +19,10 @@ def full_report(
     include_source: bool = False,
     include_flows: bool = True,
     denning_mode: Optional[str] = "ignore",
+    include_lint: bool = True,
 ) -> str:
     """One text report: metrics, CFM result, optional Denning baseline,
-    and the variable flow relation."""
+    the variable flow relation, and the static-lint findings."""
     lines = []
     metrics = measure(subject)
     lines.append(f"program: {metrics}")
@@ -48,4 +49,15 @@ def full_report(
         for a, b in graph.direct_edges():
             rules = ",".join(sorted(graph.why(a, b)))
             lines.append(f"    {a} -> {b}   [{rules}]")
+    if include_lint:
+        from repro.staticlint import run_lint
+
+        result = run_lint(subject, binding=binding)
+        lines.append("")
+        lines.append(result.summary())
+        for diagnostic in result.diagnostics:
+            lines.append(
+                f"    {diagnostic.span.line}:{diagnostic.span.column}: "
+                f"{diagnostic.code} {diagnostic.message}"
+            )
     return "\n".join(lines)

@@ -9,6 +9,7 @@ Subcommands::
     run      PROGRAM [--set x=3] [--seed 7] [--trace]
     explore  PROGRAM [--set x=3]
     report   PROGRAM --bind ...
+    lint     PROGRAM... [--json] [--select RPL1] [--ignore RPL402]
 
 ``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
 scheme's class names (``low``/``high`` for the default two-level
@@ -246,6 +247,72 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subs.add_parser("report", help="full report: CFM, baseline, flow relation")
     _add_common(sub)
     sub.add_argument("--source", action="store_true", help="include the pretty-printed source")
+
+    sub = subs.add_parser(
+        "lint",
+        help="static analysis: deadlock, races, dataflow hygiene, label lint",
+    )
+    sub.add_argument(
+        "programs",
+        nargs="*",
+        metavar="PROGRAM",
+        help="source files (- for stdin) or Python modules with embedded "
+        "programs (the examples/ convention)",
+    )
+    sub.add_argument(
+        "--scheme",
+        choices=sorted(_SCHEMES),
+        default="two-level",
+        help="classification scheme for the label passes (default: two-level)",
+    )
+    sub.add_argument(
+        "--scheme-file",
+        metavar="FILE",
+        help="custom scheme spec; overrides --scheme",
+    )
+    sub.add_argument(
+        "--bind",
+        action="append",
+        metavar="VAR=CLASS",
+        help="policy binding entry; enables the RPL501/RPL503 label passes",
+    )
+    sub.add_argument(
+        "--bindings",
+        metavar="FILE",
+        help="JSON file of {variable: class}; --bind entries override it",
+    )
+    sub.add_argument(
+        "--default",
+        metavar="CLASS",
+        help="class for variables without an explicit --bind",
+    )
+    sub.add_argument("--json", action="store_true", help="machine-readable output")
+    sub.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report these code prefixes (comma-separated, repeatable; "
+        "RPL1 selects all RPL1xx)",
+    )
+    sub.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="suppress these code prefixes (comma-separated, repeatable)",
+    )
+    sub.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any finding, not just errors",
+    )
+    sub.add_argument(
+        "--exit-zero", action="store_true", help="always exit 0 on a completed run"
+    )
+    sub.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
     return parser
 
 
@@ -264,7 +331,117 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def _split_codes(values: Optional[List[str]]) -> tuple:
+    """Flatten repeatable comma-separated ``--select``/``--ignore`` args."""
+    return tuple(
+        code.strip()
+        for value in values or ()
+        for code in value.split(",")
+        if code.strip()
+    )
+
+
+def _cmd_lint(args) -> int:
+    """The ``lint`` subcommand (its own loader, so dispatched early)."""
+    import json as json_mod
+
+    from repro.staticlint import (
+        LintResult,
+        LoadError,
+        Severity,
+        codes_table,
+        filter_diagnostics,
+        load_units,
+        run_lint,
+    )
+
+    if args.list_codes:
+        for code, name, severity, description in codes_table():
+            print(f"{code}  {severity:<7}  {name}: {description}")
+        return 0
+    if not args.programs:
+        raise SystemExit("error: lint needs at least one PROGRAM (or --list-codes)")
+
+    binding = None
+    scheme = None
+    if args.bind or args.bindings or args.default:
+        scheme = _scheme(args)
+        classes: Dict[str, str] = {}
+        if args.bindings:
+            with open(args.bindings, "r", encoding="utf-8") as handle:
+                data = json_mod.load(handle)
+            if not isinstance(data, dict):
+                raise SystemExit("error: the bindings file must hold a JSON object")
+            classes.update({str(k): str(v) for k, v in data.items()})
+        classes.update(_parse_pairs(args.bind, "--bind"))
+        binding = StaticBinding(scheme, classes, default=args.default)
+    elif args.scheme_file or args.scheme != "two-level":
+        scheme = _scheme(args)
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    results: List[LintResult] = []
+    load_failed = False
+    for path in args.programs:
+        try:
+            units = load_units(path)
+        except LoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            load_failed = True
+            continue
+        for unit in units:
+            if unit.problems:
+                results.append(LintResult(
+                    diagnostics=filter_diagnostics(unit.problems, select, ignore),
+                    passes_run=("loader",),
+                    subject_name=unit.label,
+                ))
+            elif unit.subject is not None:
+                results.append(run_lint(
+                    unit.subject,
+                    binding=binding,
+                    scheme=scheme,
+                    select=select,
+                    ignore=ignore,
+                    subject_name=unit.label,
+                ))
+
+    if args.json:
+        print(json_mod.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for result in results:
+            for d in result.diagnostics:
+                print(
+                    f"{result.subject_name}:{d.span.line}:{d.span.column}: "
+                    f"{d.code} {d.message}"
+                )
+                if d.hint:
+                    print(f"    hint: {d.hint}")
+        findings = sum(len(r.diagnostics) for r in results)
+        errors = sum(len(r.errors) for r in results)
+        warnings = sum(r.count(Severity.WARNING) for r in results)
+        print(
+            f"{findings} finding{'s' if findings != 1 else ''} "
+            f"({errors} error{'s' if errors != 1 else ''}, "
+            f"{warnings} warning{'s' if warnings != 1 else ''}) "
+            f"in {len(results)} program{'s' if len(results) != 1 else ''}"
+        )
+
+    if load_failed:
+        return 2
+    if args.exit_zero:
+        return 0
+    if args.strict and any(r.diagnostics for r in results):
+        return 1
+    if any(r.errors for r in results):
+        return 1
+    return 0
+
+
 def _dispatch(args) -> int:
+    if args.command == "lint":
+        return _cmd_lint(args)
+
     program = _load_program(args.program)
 
     if args.command == "certify":

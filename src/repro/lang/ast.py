@@ -408,3 +408,36 @@ def max_nesting(root: Node) -> int:
         return best + (1 if isinstance(node, Stmt) else 0)
 
     return depth(root)
+
+
+def propagate_locs(root: Node) -> Node:
+    """Fill in missing source positions on a synthesized subtree.
+
+    Builder- and clone-produced nodes default to ``Loc.none()``, which
+    makes every downstream diagnostic point at ``0:0``.  This repairs a
+    tree in place with two passes: a node without a position first
+    adopts the position of its earliest located descendant (the guard
+    of a synthesized ``if``, say), and anything still unlocated then
+    inherits the nearest located ancestor's position.  Returns ``root``
+    for chaining.  Trees with no located node anywhere are unchanged.
+    """
+
+    def adopt_up(node: Node) -> Loc:
+        first = node.loc
+        for child in node.children():
+            child_loc = adopt_up(child)
+            if not first and child_loc:
+                first = child_loc
+        if not node.loc and first:
+            node.loc = Loc(first.line, first.column)
+        return first
+
+    def push_down(node: Node, inherited: Loc) -> None:
+        if not node.loc and inherited:
+            node.loc = Loc(inherited.line, inherited.column)
+        for child in node.children():
+            push_down(child, node.loc)
+
+    adopt_up(root)
+    push_down(root, root.loc)
+    return root

@@ -20,10 +20,11 @@ output are interchangeable everywhere.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.lang.ast import (
     Assign,
+    Loc,
     Begin,
     BinOp,
     BoolLit,
@@ -31,6 +32,7 @@ from repro.lang.ast import (
     Expr,
     If,
     IntLit,
+    Loc,
     Program,
     Signal,
     Skip,
@@ -43,6 +45,24 @@ from repro.lang.ast import (
 )
 
 ExprLike = Union[Expr, int, bool, str]
+LocLike = Union[Loc, Tuple[int, int], None]
+
+
+def _at(node, loc: LocLike):
+    """Attach an explicit position, or adopt the first located child.
+
+    Builder output used to carry ``Loc.none()`` everywhere, which turned
+    every diagnostic on generated programs into ``0:0``; adopting child
+    positions lets mixed parser/builder trees keep meaningful spans.
+    """
+    if loc is not None:
+        node.loc = loc if isinstance(loc, Loc) else Loc(loc[0], loc[1])
+    elif not node.loc:
+        for child in node.children():
+            if child.loc:
+                node.loc = Loc(child.loc.line, child.loc.column)
+                break
+    return node
 
 
 def _expr(x: ExprLike) -> Expr:
@@ -61,131 +81,136 @@ def _expr(x: ExprLike) -> Expr:
 # -- expressions -------------------------------------------------------
 
 
-def var(name: str) -> Var:
+def var(name: str, loc: LocLike = None) -> Var:
     """A variable reference."""
-    return Var(name)
+    return _at(Var(name), loc)
 
 
-def lit(value: Union[int, bool]) -> Expr:
+def lit(value: Union[int, bool], loc: LocLike = None) -> Expr:
     """An integer or boolean constant."""
-    return BoolLit(value) if isinstance(value, bool) else IntLit(value)
+    return _at(BoolLit(value) if isinstance(value, bool) else IntLit(value), loc)
 
 
-def add(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("+", _expr(a), _expr(b))
+def add(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("+", _expr(a), _expr(b)), loc)
 
 
-def sub(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("-", _expr(a), _expr(b))
+def sub(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("-", _expr(a), _expr(b)), loc)
 
 
-def mul(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("*", _expr(a), _expr(b))
+def mul(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("*", _expr(a), _expr(b)), loc)
 
 
-def div(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("/", _expr(a), _expr(b))
+def div(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("/", _expr(a), _expr(b)), loc)
 
 
-def mod(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("mod", _expr(a), _expr(b))
+def mod(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("mod", _expr(a), _expr(b)), loc)
 
 
-def neg(a: ExprLike) -> UnOp:
-    return UnOp("-", _expr(a))
+def neg(a: ExprLike, loc: LocLike = None) -> UnOp:
+    return _at(UnOp("-", _expr(a)), loc)
 
 
-def eq(a: ExprLike, b: ExprLike) -> BinOp:
+def eq(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
     """``a = b``."""
-    return BinOp("=", _expr(a), _expr(b))
+    return _at(BinOp("=", _expr(a), _expr(b)), loc)
 
 
-def ne(a: ExprLike, b: ExprLike) -> BinOp:
+def ne(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
     """``a # b`` (the paper's inequality)."""
-    return BinOp("#", _expr(a), _expr(b))
+    return _at(BinOp("#", _expr(a), _expr(b)), loc)
 
 
-def lt(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("<", _expr(a), _expr(b))
+def lt(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("<", _expr(a), _expr(b)), loc)
 
 
-def le(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("<=", _expr(a), _expr(b))
+def le(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("<=", _expr(a), _expr(b)), loc)
 
 
-def gt(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp(">", _expr(a), _expr(b))
+def gt(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp(">", _expr(a), _expr(b)), loc)
 
 
-def ge(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp(">=", _expr(a), _expr(b))
+def ge(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp(">=", _expr(a), _expr(b)), loc)
 
 
-def and_(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("and", _expr(a), _expr(b))
+def and_(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("and", _expr(a), _expr(b)), loc)
 
 
-def or_(a: ExprLike, b: ExprLike) -> BinOp:
-    return BinOp("or", _expr(a), _expr(b))
+def or_(a: ExprLike, b: ExprLike, loc: LocLike = None) -> BinOp:
+    return _at(BinOp("or", _expr(a), _expr(b)), loc)
 
 
-def not_(a: ExprLike) -> UnOp:
-    return UnOp("not", _expr(a))
+def not_(a: ExprLike, loc: LocLike = None) -> UnOp:
+    return _at(UnOp("not", _expr(a)), loc)
 
 
 # -- statements --------------------------------------------------------
 
 
-def assign(target: str, value: ExprLike) -> Assign:
+def assign(target: str, value: ExprLike, loc: LocLike = None) -> Assign:
     """``target := value``."""
-    return Assign(target, _expr(value))
+    return _at(Assign(target, _expr(value)), loc)
 
 
-def if_(cond: ExprLike, then_branch: Stmt, else_branch: Stmt = None) -> If:
+def if_(
+    cond: ExprLike,
+    then_branch: Stmt,
+    else_branch: Stmt = None,
+    loc: LocLike = None,
+) -> If:
     """``if cond then S1 [else S2]``."""
-    return If(_expr(cond), then_branch, else_branch)
+    return _at(If(_expr(cond), then_branch, else_branch), loc)
 
 
-def while_(cond: ExprLike, body: Stmt) -> While:
+def while_(cond: ExprLike, body: Stmt, loc: LocLike = None) -> While:
     """``while cond do body``."""
-    return While(_expr(cond), body)
+    return _at(While(_expr(cond), body), loc)
 
 
-def begin(*stmts: Stmt) -> Begin:
+def begin(*stmts: Stmt, loc: LocLike = None) -> Begin:
     """``begin S1; ...; Sn end``."""
-    return Begin(list(stmts))
+    return _at(Begin(list(stmts)), loc)
 
 
-def cobegin(*branches: Stmt) -> Cobegin:
+def cobegin(*branches: Stmt, loc: LocLike = None) -> Cobegin:
     """``cobegin S1 || ... || Sn coend``."""
-    return Cobegin(list(branches))
+    return _at(Cobegin(list(branches)), loc)
 
 
-def wait(sem: str) -> Wait:
-    return Wait(sem)
+def wait(sem: str, loc: LocLike = None) -> Wait:
+    return _at(Wait(sem), loc)
 
 
-def signal(sem: str) -> Signal:
-    return Signal(sem)
+def signal(sem: str, loc: LocLike = None) -> Signal:
+    return _at(Signal(sem), loc)
 
 
-def skip() -> Skip:
-    return Skip()
+def skip(loc: LocLike = None) -> Skip:
+    return _at(Skip(), loc)
 
 
 # -- declarations and programs ------------------------------------------
 
 
-def int_decl(*names: str, initially: int = 0) -> VarDecl:
+def int_decl(*names: str, initially: int = 0, loc: LocLike = None) -> VarDecl:
     """Declare integer variables."""
-    return VarDecl(list(names), "integer", initially)
+    return _at(VarDecl(list(names), "integer", initially), loc)
 
 
-def sem_decl(*names: str, initially: int = 0) -> VarDecl:
+def sem_decl(*names: str, initially: int = 0, loc: LocLike = None) -> VarDecl:
     """Declare semaphores."""
-    return VarDecl(list(names), "semaphore", initially)
+    return _at(VarDecl(list(names), "semaphore", initially), loc)
 
 
-def program(decls: Sequence[VarDecl], body: Stmt) -> Program:
+def program(decls: Sequence[VarDecl], body: Stmt, loc: LocLike = None) -> Program:
     """A complete program."""
-    return Program(list(decls), body)
+    return _at(Program(list(decls), body), loc)

@@ -34,59 +34,76 @@ from repro.lang.ast import (
 NodeT = TypeVar("NodeT", bound=Union[Expr, Stmt])
 
 
-def clone_expr(expr: Expr, rename: Optional[Mapping[str, str]] = None) -> Expr:
-    """A fresh deep copy of ``expr``, applying the variable renaming."""
+def clone_expr(
+    expr: Expr,
+    rename: Optional[Mapping[str, str]] = None,
+    default_loc: Optional[Loc] = None,
+) -> Expr:
+    """A fresh deep copy of ``expr``, applying the variable renaming.
+
+    ``default_loc`` stands in for nodes that have no position of their
+    own (builder-constructed subtrees), so expansions can point their
+    synthesized code at the call site instead of ``0:0``.
+    """
     rename = rename or {}
     if isinstance(expr, Var):
-        return Var(rename.get(expr.name, expr.name), _loc(expr))
+        return Var(rename.get(expr.name, expr.name), _loc(expr, default_loc))
     if isinstance(expr, IntLit):
-        return IntLit(expr.value, _loc(expr))
+        return IntLit(expr.value, _loc(expr, default_loc))
     if isinstance(expr, BoolLit):
-        return BoolLit(expr.value, _loc(expr))
+        return BoolLit(expr.value, _loc(expr, default_loc))
     if isinstance(expr, UnOp):
-        return UnOp(expr.op, clone_expr(expr.operand, rename), _loc(expr))
+        return UnOp(expr.op, clone_expr(expr.operand, rename, default_loc), _loc(expr, default_loc))
     if isinstance(expr, BinOp):
         return BinOp(
             expr.op,
-            clone_expr(expr.left, rename),
-            clone_expr(expr.right, rename),
-            _loc(expr),
+            clone_expr(expr.left, rename, default_loc),
+            clone_expr(expr.right, rename, default_loc),
+            _loc(expr, default_loc),
         )
     raise LanguageError(f"cannot clone expression {expr!r}")
 
 
-def clone_stmt(stmt: Stmt, rename: Optional[Mapping[str, str]] = None) -> Stmt:
-    """A fresh deep copy of ``stmt``, applying the variable renaming."""
+def clone_stmt(
+    stmt: Stmt,
+    rename: Optional[Mapping[str, str]] = None,
+    default_loc: Optional[Loc] = None,
+) -> Stmt:
+    """A fresh deep copy of ``stmt``, applying the variable renaming.
+
+    ``default_loc`` fills in positions for unlocated nodes, exactly as
+    in :func:`clone_expr`.
+    """
     rename = rename or {}
     if isinstance(stmt, Assign):
         return Assign(
             rename.get(stmt.target, stmt.target),
-            clone_expr(stmt.expr, rename),
-            _loc(stmt),
+            clone_expr(stmt.expr, rename, default_loc),
+            _loc(stmt, default_loc),
         )
     if isinstance(stmt, Skip):
-        return Skip(_loc(stmt))
+        return Skip(_loc(stmt, default_loc))
     if isinstance(stmt, Wait):
-        return Wait(rename.get(stmt.sem, stmt.sem), _loc(stmt))
+        return Wait(rename.get(stmt.sem, stmt.sem), _loc(stmt, default_loc))
     if isinstance(stmt, Signal):
-        return Signal(rename.get(stmt.sem, stmt.sem), _loc(stmt))
+        return Signal(rename.get(stmt.sem, stmt.sem), _loc(stmt, default_loc))
     if isinstance(stmt, If):
         return If(
-            clone_expr(stmt.cond, rename),
-            clone_stmt(stmt.then_branch, rename),
-            clone_stmt(stmt.else_branch, rename) if stmt.else_branch else None,
-            _loc(stmt),
+            clone_expr(stmt.cond, rename, default_loc),
+            clone_stmt(stmt.then_branch, rename, default_loc),
+            clone_stmt(stmt.else_branch, rename, default_loc) if stmt.else_branch else None,
+            _loc(stmt, default_loc),
         )
     if isinstance(stmt, While):
         return While(
-            clone_expr(stmt.cond, rename),
-            clone_stmt(stmt.body, rename),
-            _loc(stmt),
+            clone_expr(stmt.cond, rename, default_loc),
+            clone_stmt(stmt.body, rename, default_loc),
+            _loc(stmt, default_loc),
         )
     if isinstance(stmt, Begin):
-        return Begin([clone_stmt(s, rename) for s in stmt.body], _loc(stmt))
+        return Begin([clone_stmt(s, rename, default_loc) for s in stmt.body], _loc(stmt, default_loc))
     if isinstance(stmt, Cobegin):
-        return Cobegin([clone_stmt(s, rename) for s in stmt.branches], _loc(stmt))
+        return Cobegin([clone_stmt(s, rename, default_loc) for s in stmt.branches], _loc(stmt, default_loc))
     # Procedure calls are cloned by the expansion pass itself; anything
     # else here is a bug.
     from repro.lang.procs import Call
@@ -94,12 +111,16 @@ def clone_stmt(stmt: Stmt, rename: Optional[Mapping[str, str]] = None) -> Stmt:
     if isinstance(stmt, Call):
         return Call(
             stmt.name,
-            [clone_expr(e, rename) for e in stmt.in_args],
+            [clone_expr(e, rename, default_loc) for e in stmt.in_args],
             [rename.get(v, v) for v in stmt.out_args],
-            _loc(stmt),
+            _loc(stmt, default_loc),
         )
     raise LanguageError(f"cannot clone statement {stmt!r}")
 
 
-def _loc(node) -> Loc:
-    return Loc(node.loc.line, node.loc.column) if node.loc else Loc.none()
+def _loc(node, default: Optional[Loc] = None) -> Loc:
+    if node.loc:
+        return Loc(node.loc.line, node.loc.column)
+    if default:
+        return Loc(default.line, default.column)
+    return Loc.none()

@@ -214,16 +214,19 @@ def expand_program(program: Program) -> Program:
         if isinstance(stmt, Call):
             proc = table[stmt.name]
             activation = next(activation_counter)
+            site = _loc_of(stmt)
             rename = {
                 formal: fresh_name(f"{stmt.name}_{activation}_{formal}")
                 for formal in proc.formals
             }
             fresh_decls.extend(rename.values())
             prologue = [
-                Assign(rename[formal], clone_expr(actual), _loc_of(stmt))
+                Assign(rename[formal], clone_expr(actual, default_loc=site), site)
                 for formal, actual in zip(proc.ins, stmt.in_args)
             ]
-            body = clone_stmt(expanded_bodies[stmt.name], rename)
+            # unlocated body nodes (builder-made procedures) point at the
+            # call site, so diagnostics land somewhere meaningful
+            body = clone_stmt(expanded_bodies[stmt.name], rename, default_loc=site)
             epilogue = [
                 Assign(actual, _var(rename[formal], stmt), _loc_of(stmt))
                 for formal, actual in zip(proc.outs, stmt.out_args)
@@ -235,13 +238,17 @@ def expand_program(program: Program) -> Program:
             return Cobegin([expand_stmt(s) for s in stmt.branches], _loc_of(stmt))
         if isinstance(stmt, If):
             return If(
-                clone_expr(stmt.cond),
+                clone_expr(stmt.cond, default_loc=_loc_of(stmt)),
                 expand_stmt(stmt.then_branch),
                 expand_stmt(stmt.else_branch) if stmt.else_branch else None,
                 _loc_of(stmt),
             )
         if isinstance(stmt, While):
-            return While(clone_expr(stmt.cond), expand_stmt(stmt.body), _loc_of(stmt))
+            return While(
+                clone_expr(stmt.cond, default_loc=_loc_of(stmt)),
+                expand_stmt(stmt.body),
+                _loc_of(stmt),
+            )
         return clone_stmt(stmt)
 
     for proc in getattr(program, "procs", []):

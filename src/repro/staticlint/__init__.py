@@ -1,0 +1,68 @@
+"""``repro.staticlint`` — the CFG/dataflow static-analysis engine.
+
+A family of cooperating compile-time passes over a shared program
+representation (CFG + generic dataflow fixpoints), complementing the
+exponential interleaving explorer with polynomial, conservative
+answers: static deadlock detection, race/atomicity lint, classic
+dataflow hygiene (use-before-assign, dead stores, unreachable code,
+unused declarations), and security-label precision diagnostics.
+Exposed on the command line as ``repro-ifc lint``.
+
+>>> from repro import parse_program
+>>> from repro.staticlint import run_lint
+>>> result = run_lint(parse_program(
+...     "var l : integer; s : semaphore initially(0);"
+...     " begin wait(s); l := 1 end"
+... ))
+>>> [d.code for d in result.diagnostics]
+['RPL101']
+"""
+
+from repro.staticlint.cfg import CFG, CFGNode, build_cfg, may_run_in_parallel
+from repro.staticlint.dataflow import DataflowAnalysis, reachable, solve
+from repro.staticlint.deadlock import (
+    StaticDeadlockReport,
+    static_deadlock,
+)
+from repro.staticlint.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    Span,
+    filter_diagnostics,
+)
+from repro.staticlint.engine import ALL_PASSES, LintResult, codes_table, run_lint
+from repro.staticlint.loader import LintUnit, LoadError, load_units
+from repro.staticlint.passes import LintContext, LintPass
+
+__all__ = [
+    # diagnostics
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "CODES",
+    "filter_diagnostics",
+    # representation
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "may_run_in_parallel",
+    # dataflow engine
+    "DataflowAnalysis",
+    "solve",
+    "reachable",
+    # passes and driver
+    "LintContext",
+    "LintPass",
+    "ALL_PASSES",
+    "LintResult",
+    "run_lint",
+    "codes_table",
+    # deadlock analysis
+    "static_deadlock",
+    "StaticDeadlockReport",
+    # loading
+    "LintUnit",
+    "LoadError",
+    "load_units",
+]

@@ -1,0 +1,190 @@
+"""Security-label lint: label creep and synchronization channels.
+
+* **RPL501 label-creep** — with a policy binding in hand, re-derive for
+  each bound variable the *least* class certification actually forces
+  on it (pin every other variable at its policy class and run
+  :func:`repro.core.inference.infer_binding`).  When the forced class
+  strictly exceeds the policy class, the binding cannot certify and the
+  diagnostic names the precise gap — the per-variable refinement of a
+  CFM rejection.
+
+* **RPL503 over-classification** — the other side of the same
+  computation, in the spirit of the paper's section 5.2 precision gap:
+  a *sink* (a variable the program writes) bound strictly above the
+  least class any check requires.  Informational: the policy is sound
+  but looser than the program needs.
+
+* **RPL502 synchronization-channel** — needs no binding: a ``wait`` or
+  ``signal`` that is control-dependent on data turns the *order* of
+  semaphore operations into a message (the paper's Figure 3).  The
+  diagnostic names the guard variables and, via the flow relation, the
+  variables the channel can reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.ast import (
+    Expr,
+    If,
+    Node,
+    Signal,
+    Stmt,
+    Wait,
+    While,
+    expr_variables,
+    iter_statements,
+)
+from repro.staticlint.diagnostics import Diagnostic, make
+from repro.staticlint.passes import LintContext, LintPass
+
+
+def _conditional_sync_ops(stmt: Stmt) -> List[Tuple[Stmt, Tuple[str, ...]]]:
+    """Every ``wait``/``signal`` with an ``if``/``while`` ancestor,
+    paired with the sorted union of the guard variables above it."""
+    out: List[Tuple[Stmt, Tuple[str, ...]]] = []
+
+    def walk(node: Stmt, guards: Set[str]) -> None:
+        if isinstance(node, (Wait, Signal)):
+            if guards:
+                out.append((node, tuple(sorted(guards))))
+            return
+        if isinstance(node, (If, While)):
+            inner = guards | set(expr_variables(node.cond))
+            for child in node.children():
+                if isinstance(child, Stmt):
+                    walk(child, inner)
+            return
+        for child in node.children():
+            if isinstance(child, Stmt):
+                walk(child, guards)
+
+    walk(stmt, set())
+    return out
+
+
+class LabelPass(LintPass):
+    """RPL5xx: label-creep, over-classification, synchronization channels."""
+
+    name = "labels"
+    codes = ("RPL501", "RPL502", "RPL503")
+    description = "policy-binding precision and covert-channel lint"
+
+    def run(self, ctx: LintContext) -> List[Diagnostic]:
+        """Channel detection always runs; creep needs a binding."""
+        out = self._channels(ctx)
+        if ctx.binding is not None:
+            out.extend(self._creep(ctx))
+        out.sort(key=Diagnostic.sort_key)
+        return out
+
+    def _channels(self, ctx: LintContext) -> List[Diagnostic]:
+        from repro.analysis.flowgraph import flow_graph
+        from repro.lattice.chain import two_level
+
+        scheme = ctx.scheme if ctx.scheme is not None else two_level()
+        try:
+            graph = flow_graph(ctx.stmt, scheme)
+        except Exception:  # flow extraction must never kill the lint run
+            graph = None
+        out = []
+        for op, guards in _conditional_sync_ops(ctx.stmt):
+            verb = "signal" if isinstance(op, Signal) else "wait"
+            downstream: List[str] = []
+            if graph is not None and op.sem in graph.variables:
+                downstream = sorted(
+                    v for v in graph.flows_to(op.sem)
+                    if v != op.sem and v not in guards
+                )
+            hint = (
+                "every statement sequenced after a wait on "
+                f"'{op.sem}' observes the guard"
+            )
+            if downstream:
+                hint += "; reaches: " + ", ".join(downstream[:4])
+            out.append(make(
+                "RPL502",
+                f"{verb}({op.sem}) is control-dependent on "
+                f"{{{', '.join(guards)}}}: the order of semaphore "
+                f"operations carries their information "
+                f"(synchronization channel)",
+                op,
+                pass_name=self.name,
+                hint=hint,
+                extra={"semaphore": op.sem, "guards": list(guards),
+                       "reaches": downstream},
+            ))
+        return out
+
+    def _creep(self, ctx: LintContext) -> List[Diagnostic]:
+        from repro.core.inference import infer_binding
+        from repro.errors import ReproError
+        from repro.lang.ast import Assign, used_variables
+
+        binding = ctx.binding
+        scheme = binding.scheme
+        program_vars = sorted(used_variables(ctx.stmt))
+        policy: Dict[str, object] = {}
+        for name in program_vars:
+            try:
+                policy[name] = binding.of_var(name)
+            except ReproError:
+                continue  # unbound and no default: not our problem here
+        sinks = {
+            s.target for s in iter_statements(ctx.stmt) if isinstance(s, Assign)
+        } | {s.sem for s in iter_statements(ctx.stmt) if isinstance(s, (Wait, Signal))}
+        first_write: Dict[str, Stmt] = {}
+        for s in iter_statements(ctx.stmt):
+            name: Optional[str] = None
+            if isinstance(s, Assign):
+                name = s.target
+            elif isinstance(s, (Wait, Signal)):
+                name = s.sem
+            if name is not None and name not in first_write:
+                first_write[name] = s
+        out = []
+        for name in program_vars:
+            if name not in policy:
+                continue
+            others = {n: c for n, c in policy.items() if n != name}
+            try:
+                result = infer_binding(ctx.stmt, scheme, others)
+            except ReproError:
+                continue
+            if not result.satisfiable:
+                continue  # the conflict does not involve this variable
+            required = result.inferred.get(name)
+            if required is None:
+                continue
+            declared = policy[name]
+            anchor = first_write.get(name, ctx.stmt)
+            if not scheme.leq(required, declared):
+                out.append(make(
+                    "RPL501",
+                    f"certification forces the class of '{name}' up to "
+                    f"{required!r}, but the policy binds it at {declared!r}",
+                    anchor,
+                    pass_name=self.name,
+                    hint=f"either raise the binding of '{name}' to "
+                         f"{required!r} or break the flow that forces it",
+                    extra={"variable": name,
+                           "declared": str(declared),
+                           "required": str(required)},
+                ))
+            elif (name in sinks
+                  and scheme.leq(required, declared)
+                  and required != declared):
+                out.append(make(
+                    "RPL503",
+                    f"'{name}' is bound at {declared!r} but certification "
+                    f"only requires {required!r} (labels may have crept)",
+                    anchor,
+                    pass_name=self.name,
+                    hint=f"the binding is sound; lowering '{name}' to "
+                         f"{required!r} would still certify",
+                    extra={"variable": name,
+                           "declared": str(declared),
+                           "required": str(required)},
+                ))
+        return out

@@ -1,0 +1,108 @@
+"""Source positions must survive synthesis (builder, clone, expansion).
+
+Regression suite for the ``Loc.none()`` leak: builder- and
+clone-produced nodes used to drop positions entirely, so every
+diagnostic on generated or procedure-expanded code pointed at ``0:0``.
+"""
+
+from repro.lang import builder as b
+from repro.lang.ast import Loc, iter_nodes, propagate_locs
+from repro.lang.clone import clone_expr, clone_stmt
+from repro.lang.parser import parse_program
+from repro.lang.procs import resolve_subject
+
+
+class TestBuilderLocs:
+    def test_explicit_loc_kwarg(self):
+        node = b.assign("x", 1, loc=(3, 5))
+        assert node.loc.line == 3 and node.loc.column == 5
+
+    def test_loc_object_accepted(self):
+        node = b.wait("s", loc=Loc(7, 2))
+        assert node.loc.line == 7
+
+    def test_container_adopts_first_located_child(self):
+        block = b.begin(b.assign("x", 1, loc=(3, 5)), b.wait("s"))
+        assert block.loc.line == 3 and block.loc.column == 5
+
+    def test_expression_adopts_operand_loc(self):
+        cond = b.eq(b.var("x", loc=(2, 1)), 0)
+        assert cond.loc.line == 2
+
+    def test_unlocated_tree_stays_synthetic(self):
+        block = b.begin(b.assign("x", 1))
+        assert not block.loc
+
+
+class TestCloneDefaultLoc:
+    def test_clone_preserves_real_locs(self):
+        program = parse_program("var x : integer; begin x := 1 end")
+        original = program.body.body[0]
+        copy = clone_stmt(original, default_loc=Loc(99, 9))
+        assert copy.loc.line == original.loc.line
+        assert copy.uid != original.uid
+
+    def test_clone_fills_missing_locs_from_default(self):
+        stmt = b.begin(b.assign("x", b.add("y", 1)), b.signal("s"))
+        copy = clone_stmt(stmt, default_loc=Loc(7, 3))
+        for node in iter_nodes(copy):
+            assert node.loc.line == 7 and node.loc.column == 3
+
+    def test_clone_expr_default(self):
+        copy = clone_expr(b.add("x", 1), default_loc=Loc(4, 2))
+        assert copy.loc.line == 4
+
+    def test_clone_without_default_keeps_none(self):
+        copy = clone_stmt(b.skip())
+        assert not copy.loc
+
+
+class TestPropagateLocs:
+    def test_upward_then_downward_fill(self):
+        tree = b.begin(b.assign("x", 1, loc=(3, 5)), b.wait("s"))
+        propagate_locs(tree)
+        for node in iter_nodes(tree):
+            assert node.loc, f"{node!r} still unlocated"
+        # the unlocated sibling inherits from the located region
+        assert tree.body[1].loc.line == 3
+
+    def test_no_locations_is_a_no_op(self):
+        tree = b.begin(b.assign("x", 1))
+        propagate_locs(tree)
+        assert not tree.loc and not tree.body[0].loc
+
+    def test_returns_root(self):
+        tree = b.skip(loc=(1, 1))
+        assert propagate_locs(tree) is tree
+
+
+class TestExpansionLocs:
+    SOURCE = (
+        "proc double(in a; out r)\n"
+        "  r := a + a;\n"
+        "var x, y : integer;\n"
+        "call double(x; y)\n"
+    )
+
+    def test_expanded_call_points_at_call_site(self):
+        program = parse_program(self.SOURCE)
+        expanded, _ = resolve_subject(program)
+        call_line = 4  # the `call double(x; y)` line above
+        expansion = expanded.body
+        assert expansion.loc.line == call_line
+        for node in iter_nodes(expansion):
+            assert node.loc, f"{node!r} lost its position in expansion"
+
+    def test_lint_spans_on_expanded_program_are_real(self):
+        from repro.staticlint import run_lint
+
+        program = parse_program(
+            "proc double(in a; out r)\n"
+            "  r := a + a;\n"
+            "var x, y, unused : integer;\n"
+            "call double(x; y)\n"
+        )
+        result = run_lint(program)
+        assert result.diagnostics  # at least the unused variable
+        for diagnostic in result.diagnostics:
+            assert diagnostic.span.line > 0

@@ -1,0 +1,49 @@
+"""Keep ``docs/linting.md`` in lock-step with the code registry.
+
+The docs table between the ``codes:begin``/``codes:end`` markers must
+list exactly the codes in :data:`repro.staticlint.CODES`, with the
+same names, severities, and descriptions.
+"""
+
+import re
+from pathlib import Path
+
+from repro.staticlint import CODES
+from repro.staticlint.engine import codes_table
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "linting.md"
+
+
+def _documented_rows():
+    text = DOCS.read_text(encoding="utf-8")
+    match = re.search(r"<!-- codes:begin -->\n(.*?)<!-- codes:end -->", text, re.S)
+    assert match, "docs/linting.md lost its codes:begin/codes:end markers"
+    rows = []
+    for line in match.group(1).splitlines():
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) == 4 and cells[0].startswith("RPL"):
+            rows.append(tuple(cells))
+    return rows
+
+
+def test_docs_table_matches_registry():
+    assert _documented_rows() == codes_table()
+
+
+def test_registry_is_well_formed():
+    for code, (name, severity, description) in CODES.items():
+        assert re.fullmatch(r"RPL\d{3}", code)
+        assert severity in ("error", "warning", "info")
+        assert name and description
+
+
+def test_every_pass_advertises_registered_codes():
+    from repro.staticlint import ALL_PASSES
+
+    for lint_pass in ALL_PASSES:
+        for code in lint_pass.codes:
+            assert code in CODES, f"{lint_pass.name} advertises unknown {code}"
+
+
+def test_loader_codes_are_registered():
+    assert "RPL001" in CODES and "RPL002" in CODES

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.analysis",
     "repro.workloads",
+    "repro.staticlint",
 ]
 
 
