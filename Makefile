@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples lint-smoke all
+.PHONY: install test bench bench-tables bench-pipeline examples lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,10 @@ bench:
 # The paper-style decision tables (EXPERIMENTS.md material).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-disable
+
+# Full pipeline/POR benchmark with perf gates -> BENCH_pipeline.json.
+bench-pipeline:
+	$(PYTHON) benchmarks/bench_pipeline.py
 
 examples:
 	@for f in examples/*.py; do \

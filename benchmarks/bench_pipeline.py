@@ -1,0 +1,238 @@
+"""Pipeline throughput and POR effectiveness, as one diffable artifact.
+
+Two experiments, emitted together as ``BENCH_pipeline.json``:
+
+* **throughput** — the same corpus x analyses matrix run three ways:
+  serially (``jobs=1``, no cache), parallel (``jobs=4``, no cache) and
+  serially over a pre-warmed cache.  All three documents are asserted
+  byte-identical (the determinism contract), and the wall-clock ratios
+  are recorded.  The parallel ratio is hardware-bound: on a
+  single-core container it cannot exceed ~1x, so the artifact records
+  ``cpu_count`` and the assertion only applies where the hardware can
+  deliver it.  The warm-cache ratio is hardware-independent.
+
+* **por** — naive vs reduced exploration over the litmus suite and a
+  runtime-safe concurrent corpus: states visited by each, and an
+  outcome-set comparison that must show zero differences.
+
+Run standalone (``python benchmarks/bench_pipeline.py [--smoke]``,
+wired to ``make bench-pipeline`` and the CI smoke job) or via pytest
+(``pytest benchmarks/bench_pipeline.py``, which uses the smoke corpus
+to keep ``make bench`` fast).
+"""
+
+import argparse
+import multiprocessing
+import sys
+import time
+
+from benchmarks._util import emit_table, write_bench_json
+from repro.lang.ast import Cobegin, iter_nodes
+from repro.pipeline import run_pipeline
+from repro.runtime.explorer import explore
+from repro.workloads.generators import random_program
+from repro.workloads.litmus import CASES
+
+#: Analyses for the throughput matrix: the certification hot path plus
+#: the explorer (which dominates, making the corpus worth parallelizing).
+ANALYSES = ("cert", "denning", "lint", "explore")
+
+MAX_STATES = 60_000
+
+
+def bench_corpus(smoke: bool):
+    """Litmus cases plus runtime-safe concurrent generator output.
+
+    The generated programs are the "concurrent corpus" of this
+    benchmark: explorable under every schedule (so outcome sets can be
+    compared exhaustively) with real semaphore traffic and cobegins.
+    Seeds whose program came out with no ``cobegin`` at all (the
+    generator does not guarantee one) are skipped — a sequential
+    program says nothing about interleaving reduction.
+    """
+    corpus = [(case.name, case.statement()) for case in CASES]
+    n, size = (4, 14) if smoke else (24, 22)
+    seed, found = 6200, 0
+    while found < n:
+        program = random_program(
+            seed=seed,
+            size=size,
+            runtime_safe=True,
+            p_cobegin=0.3,
+            n_sems=2,
+        )
+        seed += 1
+        if not any(isinstance(node, Cobegin) for node in iter_nodes(program)):
+            continue
+        corpus.append((f"con-{found:02d}", program))
+        found += 1
+    return corpus
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def throughput_experiment(corpus, cache_dir: str, jobs: int):
+    """Serial vs parallel vs warm-cache over the same matrix."""
+    config = {"max_states": MAX_STATES}
+    t_serial, serial = _timed(
+        lambda: run_pipeline(corpus, ANALYSES, jobs=1, use_cache=False, config=config)
+    )
+    t_parallel, parallel = _timed(
+        lambda: run_pipeline(corpus, ANALYSES, jobs=jobs, use_cache=False, config=config)
+    )
+    run_pipeline(corpus, ANALYSES, jobs=1, cache_dir=cache_dir, config=config)
+    t_warm, warm = _timed(
+        lambda: run_pipeline(corpus, ANALYSES, jobs=1, cache_dir=cache_dir, config=config)
+    )
+    assert serial.to_json() == parallel.to_json() == warm.to_json(), (
+        "determinism contract violated across execution strategies"
+    )
+    assert warm.stats["computed"] == 0
+    return {
+        "programs": len(corpus),
+        "analyses": list(ANALYSES),
+        "jobs": jobs,
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_parallel,
+        "warm_cache_seconds": t_warm,
+        "speedup_parallel": t_serial / t_parallel if t_parallel > 0 else float("inf"),
+        "speedup_warm_cache": t_warm and t_serial / t_warm,
+        "errors": len(serial.errors()),
+    }
+
+
+def por_experiment(corpus):
+    """Naive vs POR explorer: states visited and outcome-set equality."""
+    rows = []
+    for name, subject in corpus:
+        naive = explore(subject, max_states=MAX_STATES, por=False)
+        reduced = explore(subject, max_states=MAX_STATES, por=True)
+        outcomes_equal = frozenset(
+            (o.status, o.store) for o in naive.outcomes
+        ) == frozenset((o.status, o.store) for o in reduced.outcomes)
+        rows.append(
+            {
+                "program": name,
+                "concurrent": name.startswith("con-"),
+                "states_naive": naive.states_visited,
+                "states_por": reduced.states_visited,
+                "reduction": (
+                    1 - reduced.states_visited / naive.states_visited
+                    if naive.states_visited
+                    else 0.0
+                ),
+                "outcomes_equal": outcomes_equal,
+                "complete": naive.complete and reduced.complete,
+            }
+        )
+    concurrent = [r for r in rows if r["concurrent"]]
+    reduced_count = sum(
+        1 for r in concurrent if r["states_por"] < r["states_naive"]
+    )
+    return {
+        "programs": rows,
+        "mismatches": sum(1 for r in rows if not r["outcomes_equal"]),
+        "concurrent_programs": len(concurrent),
+        "concurrent_reduced": reduced_count,
+        "concurrent_reduced_fraction": (
+            reduced_count / len(concurrent) if concurrent else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, no perf assertions (CI per-PR mode)",
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root for the warm-cache column (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    corpus = bench_corpus(args.smoke)
+    with tempfile.TemporaryDirectory() as tmp:
+        throughput = throughput_experiment(
+            corpus, args.cache_dir or tmp, args.jobs
+        )
+    por = por_experiment(corpus)
+
+    emit_table(
+        "pipeline throughput (serial vs parallel vs warm cache)",
+        ["mode", "seconds", "speedup"],
+        [
+            ("serial", f"{throughput['serial_seconds']:.2f}", "1.0x"),
+            (
+                f"parallel (jobs={args.jobs})",
+                f"{throughput['parallel_seconds']:.2f}",
+                f"{throughput['speedup_parallel']:.1f}x",
+            ),
+            (
+                "warm cache",
+                f"{throughput['warm_cache_seconds']:.2f}",
+                f"{throughput['speedup_warm_cache']:.1f}x",
+            ),
+        ],
+    )
+    concurrent_rows = [r for r in por["programs"] if r["concurrent"]]
+    emit_table(
+        "explorer partial-order reduction (concurrent corpus)",
+        ["program", "naive states", "POR states", "reduction", "outcomes"],
+        [
+            (
+                r["program"],
+                r["states_naive"],
+                r["states_por"],
+                f"{r['reduction'] * 100:.0f}%",
+                "equal" if r["outcomes_equal"] else "DIFFER",
+            )
+            for r in concurrent_rows
+        ],
+    )
+
+    payload = {
+        "smoke": args.smoke,
+        "cpu_count": multiprocessing.cpu_count(),
+        "throughput": throughput,
+        "por": por,
+    }
+    path = write_bench_json("pipeline", payload)
+    print(f"wrote {path}")
+
+    # Correctness gates hold in every mode.
+    assert por["mismatches"] == 0, "POR changed an outcome set"
+    if args.smoke:
+        return 0
+    # Perf gates: warm cache is hardware-independent; parallel speedup
+    # needs the cores to exist.
+    assert throughput["speedup_warm_cache"] >= 10, throughput
+    assert por["concurrent_reduced_fraction"] >= 0.5, por
+    if multiprocessing.cpu_count() >= 4:
+        assert throughput["speedup_parallel"] >= 3, throughput
+    else:
+        print(
+            f"note: {multiprocessing.cpu_count()} CPU(s) — parallel "
+            "speedup gate skipped (needs >= 4 cores)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def test_pipeline_bench_smoke():
+    """Pytest entry point (``make bench``): the smoke-mode run."""
+    assert main(["--smoke", "--jobs", "2"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

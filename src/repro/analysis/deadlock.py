@@ -67,7 +67,9 @@ def find_deadlock(
     """
     result = explore(subject, store=store, max_states=max_states, max_depth=max_depth)
     witness = None
-    for outcome in result.outcomes:
+    # Canonical order: the witness must not depend on set iteration
+    # order, which varies with PYTHONHASHSEED across worker processes.
+    for outcome in result.sorted_outcomes():
         if outcome.status != "deadlock":
             continue
         schedule = result.schedules[outcome]

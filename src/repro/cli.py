@@ -7,9 +7,11 @@ Subcommands::
     infer    PROGRAM --bind x=high            # pin some, infer the rest
     prove    PROGRAM --bind ...               # Theorem 1 proof + check
     run      PROGRAM [--set x=3] [--seed 7] [--trace]
-    explore  PROGRAM [--set x=3]
+    explore  PROGRAM [--set x=3] [--por]
     report   PROGRAM --bind ...
     lint     PROGRAM... [--json] [--select RPL1] [--ignore RPL402]
+    batch    [PROGRAM...] [--corpus litmus] --analyses cert,lint
+             [--jobs 4] [--cache-dir DIR] [--no-cache] [--json]
 
 ``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
 scheme's class names (``low``/``high`` for the default two-level
@@ -243,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--set", action="append", metavar="VAR=INT")
     sub.add_argument("--max-states", type=int, default=200_000)
     sub.add_argument("--max-depth", type=int, default=2_000)
+    sub.add_argument(
+        "--por",
+        action="store_true",
+        help="partial-order reduction: same outcomes, fewer states",
+    )
 
     sub = subs.add_parser("report", help="full report: CFM, baseline, flow relation")
     _add_common(sub)
@@ -312,6 +319,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-codes",
         action="store_true",
         help="print the diagnostic code table and exit",
+    )
+
+    sub = subs.add_parser(
+        "batch",
+        help="run analyses over a corpus in parallel, with result caching",
+    )
+    sub.add_argument(
+        "programs",
+        nargs="*",
+        metavar="PROGRAM",
+        help="program source files to add to the corpus",
+    )
+    sub.add_argument(
+        "--corpus",
+        action="append",
+        metavar="NAME",
+        help="add a named workload corpus (repeatable; see --list-corpora)",
+    )
+    sub.add_argument(
+        "--list-corpora",
+        action="store_true",
+        help="print the available corpus names and exit",
+    )
+    sub.add_argument(
+        "--analyses",
+        default="cert,lint",
+        metavar="NAMES",
+        help="comma-separated analyses to run (default: cert,lint; "
+        "see --list-analyses)",
+    )
+    sub.add_argument(
+        "--list-analyses",
+        action="store_true",
+        help="print the available analyses and exit",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = serial)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="content-addressed result cache root (default: .repro-cache)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cache (recompute everything)",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="print the deterministic result document as JSON",
+    )
+    sub.add_argument(
+        "--stats",
+        action="store_true",
+        help="print run statistics (timing, cache hits) to stderr",
+    )
+    sub.add_argument(
+        "--scheme",
+        default="two-level",
+        metavar="NAME",
+        help="classification scheme for policy-based analyses "
+        "(default: two-level)",
+    )
+    sub.add_argument(
+        "--high",
+        default="h,h2",
+        metavar="NAMES",
+        help="comma-separated variables bound to the scheme top "
+        "(default: h,h2); everything else binds to bottom",
+    )
+    sub.add_argument("--max-states", type=int, default=20_000)
+    sub.add_argument("--max-depth", type=int, default=2_000)
+    sub.add_argument(
+        "--no-por",
+        action="store_true",
+        help="disable partial-order reduction in the explore analysis",
     )
     return parser
 
@@ -438,9 +528,116 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    """The ``batch`` subcommand: the parallel certification pipeline."""
+    import os
+
+    from repro.pipeline import analysis_names, run_pipeline, scheme_names
+    from repro.workloads.suites import corpus as load_corpus
+    from repro.workloads.suites import corpus_names
+
+    if args.list_corpora:
+        for name in corpus_names():
+            print(name)
+        return 0
+    if args.list_analyses:
+        from repro.pipeline import ANALYSES
+
+        for name in analysis_names():
+            print(f"{name}: {ANALYSES[name].description}")
+        return 0
+
+    analyses = _split_codes([args.analyses])
+    if not analyses:
+        raise SystemExit("error: --analyses needs at least one analysis name")
+    if args.scheme not in scheme_names():
+        raise SystemExit(
+            f"error: unknown scheme {args.scheme!r}; "
+            f"choices: {list(scheme_names())}"
+        )
+
+    corpus = []
+    for path in args.programs:
+        corpus.append((os.path.basename(path), _load_program(path)))
+    for name in args.corpus or ():
+        try:
+            corpus.extend(load_corpus(name))
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+    if not corpus:
+        raise SystemExit(
+            "error: batch needs PROGRAM files and/or --corpus NAME "
+            "(try --list-corpora)"
+        )
+
+    config = {
+        "scheme": args.scheme,
+        "high": _split_codes([args.high]),
+        "max_states": args.max_states,
+        "max_depth": args.max_depth,
+        "por": not args.no_por,
+    }
+    try:
+        result = run_pipeline(
+            corpus,
+            analyses=analyses,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            use_cache=not args.no_cache,
+            config=config,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    if args.json:
+        print(result.to_json())
+    else:
+        for entry in result.programs:
+            cells = []
+            for analysis in result.analyses:
+                data = entry["analyses"][analysis]
+                if "error" in data:
+                    cells.append(f"{analysis}=ERROR")
+                elif "certified" in data:
+                    cells.append(
+                        f"{analysis}={'ok' if data['certified'] else 'REJECT'}"
+                    )
+                elif analysis == "lint":
+                    cells.append(f"lint={data['findings']}")
+                elif analysis == "explore":
+                    cells.append(
+                        f"explore={len(data['outcomes'])} outcomes/"
+                        f"{data['states']} states"
+                    )
+                elif analysis == "prove":
+                    cells.append(
+                        f"prove={'VALID' if data['valid'] else 'INVALID'}"
+                    )
+                else:
+                    cells.append(f"{analysis}=done")
+            print(f"{entry['name']}: {'  '.join(cells)}")
+        stats = result.stats
+        print(
+            f"{len(result.programs)} programs x {len(result.analyses)} "
+            f"analyses; {stats['computed']} computed, "
+            f"{stats['cache']['hits']} cached, "
+            f"{stats['elapsed_seconds']:.2f}s with {stats['jobs']} job(s)"
+        )
+    if args.stats:
+        import json as json_mod
+
+        print(json_mod.dumps(result.stats, sort_keys=True), file=sys.stderr)
+    errors = result.errors()
+    for name, analysis, message in errors:
+        print(f"error: {name}/{analysis}: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
 
     program = _load_program(args.program)
 
@@ -602,13 +799,17 @@ def _dispatch(args) -> int:
     if args.command == "explore":
         store = {k: int(v) for k, v in _parse_pairs(args.set, "--set").items()}
         result = explore(
-            program, store=store, max_states=args.max_states, max_depth=args.max_depth
+            program,
+            store=store,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            por=args.por,
         )
         print(
             f"{result.states_visited} states, {result.transitions} transitions, "
             f"complete={result.complete}"
         )
-        for outcome in sorted(result.outcomes, key=str):
+        for outcome in result.sorted_outcomes():
             print(f"  {outcome}")
         return 0 if result.deadlock_free else 1
 

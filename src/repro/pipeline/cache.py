@@ -1,0 +1,146 @@
+"""Content-addressed on-disk result cache for the batch pipeline.
+
+Every cached entry is addressed by the SHA-256 of a canonical JSON
+document describing *everything the result depends on*: the canonical
+(pretty-printed) program text, the analysis name, the slice of the
+pipeline configuration that analysis reads, and the package version.
+Two consequences:
+
+* a cache never returns a stale result — any change to the program,
+  the policy/lattice configuration, or the code version lands on a
+  different key, so invalidation is automatic and no entry is ever
+  mutated in place;
+* the cache is safe to share between concurrent pipelines — writes go
+  through a temp file + ``os.replace`` (atomic on POSIX), and losing a
+  race merely rewrites identical bytes.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` (two-level fan-out keeps
+directories small on large corpora).  Each file holds
+``{"key": ..., "analysis": ..., "result": ...}``; a file that fails to
+parse, or whose embedded key disagrees with its address, is treated as
+a miss and recomputed — corruption can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Bump when the on-disk entry format changes (part of every key).
+CACHE_FORMAT = 1
+
+
+def cache_key(
+    source: str,
+    kind: str,
+    analysis: str,
+    config: Dict[str, object],
+    version: str,
+) -> str:
+    """The content address of one (program, analysis, config) result.
+
+    ``source`` must be the *canonical* program text (the pretty-printed
+    AST, not the raw input), so formatting-only differences between
+    inputs still share an entry.  ``config`` should already be sliced
+    down to the keys the analysis actually reads (see
+    :data:`repro.pipeline.analyses.ANALYSES`), so that e.g. changing
+    explorer budgets does not invalidate certification entries.
+    """
+    document = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "source": source,
+            "kind": kind,
+            "analysis": analysis,
+            "config": config,
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=list,
+    )
+    return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one pipeline run."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    #: Entries that existed but failed validation and were recomputed.
+    corrupt: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON shape of the counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultCache:
+    """A content-addressed store of analysis results under ``root``.
+
+    All methods degrade gracefully: an unreadable or corrupted entry is
+    a miss, an unwritable directory turns ``put`` into a no-op.  The
+    pipeline must never fail because its cache did.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key \
+                or "result" not in payload:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, analysis: str, result: dict) -> None:
+        """Atomically store ``result`` under ``key`` (best effort)."""
+        path = self._path(key)
+        payload = {"key": key, "analysis": analysis, "result": result}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stats.writes += 1

@@ -1,0 +1,254 @@
+"""The batch pipeline: fan a corpus out over workers, memoize on disk.
+
+``run_pipeline`` takes a corpus of named programs (the shape produced
+by :func:`repro.workloads.suites.corpus`), a set of analyses, a worker
+count, and a cache directory, and produces one deterministic result
+document.  The execution strategy:
+
+1. every subject is canonicalized to pretty-printed source text — the
+   unit of work that crosses process boundaries and the content that
+   addresses the cache;
+2. the parent resolves cache hits up front (a warm run never touches
+   the pool at all, which is what makes re-runs near-free);
+3. the remaining tasks go to a ``multiprocessing`` pool when
+   ``jobs > 1`` (workers re-parse the source — parsing is a tiny
+   fraction of any analysis this pipeline runs);
+4. fresh results are written back to the cache and merged, and the
+   document is assembled in sorted program order.
+
+Determinism contract: :meth:`PipelineResult.to_json` is byte-identical
+across ``jobs=1``, ``jobs=N`` and warm-cache runs of the same corpus
+and configuration.  Volatile facts (timings, hit/miss counts, worker
+count) live in :attr:`PipelineResult.stats`, which is deliberately
+*not* part of the document.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import repro
+from repro.lang.ast import Program, Stmt
+from repro.lang.parser import parse_program, parse_statement
+from repro.lang.pretty import pretty
+from repro.pipeline.analyses import ANALYSES, DEFAULT_CONFIG
+from repro.pipeline.cache import CacheStats, ResultCache, cache_key
+
+Subject = Union[Program, Stmt]
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One unit of work: run ``analysis`` on the program at ``index``."""
+
+    index: int  # position in the sorted program list
+    name: str
+    source: str
+    kind: str  # "program" | "statement"
+    analysis: str
+
+
+def _subject_from_source(source: str, kind: str) -> Subject:
+    return parse_program(source) if kind == "program" else parse_statement(source)
+
+
+def _compute(payload: Tuple[str, str, str, dict]) -> dict:
+    """Worker entry point: run one analysis on one program.
+
+    Top-level (picklable) and exception-safe: analysis failures become
+    a deterministic ``{"error": ...}`` result instead of poisoning the
+    pool — a batch over an arbitrary corpus must report per-program
+    failures, not die on the first odd program.
+    """
+    source, kind, analysis, config = payload
+    spec = ANALYSES[analysis]
+    try:
+        subject = _subject_from_source(source, kind)
+        return spec.run(subject, config)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+class PipelineResult:
+    """Everything one ``run_pipeline`` call produced.
+
+    ``programs`` is a sorted list of
+    ``{"name", "source", "analyses": {analysis: result}}`` entries;
+    ``stats`` holds the volatile run facts (wall time, cache counters,
+    worker count) and is excluded from :meth:`to_dict`.
+    """
+
+    def __init__(
+        self,
+        programs: List[dict],
+        analyses: Tuple[str, ...],
+        config: Dict[str, object],
+        stats: Dict[str, object],
+    ):
+        self.programs = programs
+        self.analyses = analyses
+        self.config = dict(config)
+        self.stats = dict(stats)
+
+    def to_dict(self) -> dict:
+        """The deterministic result document (no timings, no counters)."""
+        return {
+            "analyses": list(self.analyses),
+            "config": {k: self.config[k] for k in sorted(self.config)},
+            "programs": self.programs,
+            "version": repro.__version__,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize :meth:`to_dict`; byte-stable for identical inputs."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def program(self, name: str) -> dict:
+        """The entry for the program called ``name``."""
+        for entry in self.programs:
+            if entry["name"] == name:
+                return entry
+        raise KeyError(name)
+
+    def errors(self) -> List[Tuple[str, str, str]]:
+        """Every failed analysis as ``(program, analysis, message)``."""
+        out = []
+        for entry in self.programs:
+            for analysis in self.analyses:
+                result = entry["analyses"][analysis]
+                if "error" in result:
+                    out.append((entry["name"], analysis, result["error"]))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<PipelineResult {len(self.programs)} programs x "
+            f"{len(self.analyses)} analyses>"
+        )
+
+
+def _canonical_corpus(
+    corpus: Sequence[Tuple[str, Subject]]
+) -> List[Tuple[str, str, str]]:
+    """Sorted ``(name, canonical-source, kind)`` triples.
+
+    Sorting by name makes the document independent of corpus order;
+    duplicate names are rejected (they would silently shadow).
+    """
+    seen = set()
+    out = []
+    for name, subject in corpus:
+        if name in seen:
+            raise ValueError(f"duplicate program name {name!r} in corpus")
+        seen.add(name)
+        kind = "program" if isinstance(subject, Program) else "statement"
+        out.append((name, pretty(subject), kind))
+    out.sort(key=lambda triple: triple[0])
+    return out
+
+
+def run_pipeline(
+    corpus: Sequence[Tuple[str, Subject]],
+    analyses: Sequence[str] = ("cert", "lint"),
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    config: Optional[Dict[str, object]] = None,
+) -> PipelineResult:
+    """Run ``analyses`` over every program in ``corpus``.
+
+    ``corpus`` is a sequence of ``(name, Program-or-Stmt)`` pairs with
+    unique names.  ``jobs > 1`` fans cache misses out over a process
+    pool; ``cache_dir`` (with ``use_cache=True``) enables the on-disk
+    content-addressed cache.  ``config`` overlays
+    :data:`repro.pipeline.analyses.DEFAULT_CONFIG`; unknown keys are
+    rejected so typos cannot silently produce wrong cache keys.
+    """
+    started = time.perf_counter()
+    for analysis in analyses:
+        if analysis not in ANALYSES:
+            raise ValueError(
+                f"unknown analysis {analysis!r}; "
+                f"available: {sorted(ANALYSES)}"
+            )
+    if not analyses:
+        raise ValueError("no analyses requested")
+    merged = dict(DEFAULT_CONFIG)
+    for key, value in (config or {}).items():
+        if key not in DEFAULT_CONFIG:
+            raise ValueError(
+                f"unknown config key {key!r}; "
+                f"available: {sorted(DEFAULT_CONFIG)}"
+            )
+        merged[key] = value
+    # Normalize sequence-valued knobs so cache keys don't depend on
+    # whether the caller passed a list or a tuple.
+    merged["high"] = tuple(sorted(merged["high"]))
+
+    entries = _canonical_corpus(corpus)
+    analyses = tuple(analyses)
+    cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
+
+    results: Dict[Tuple[int, str], dict] = {}
+    pending: List[_Task] = []
+    keys: Dict[Tuple[int, str], str] = {}
+    for index, (name, source, kind) in enumerate(entries):
+        for analysis in analyses:
+            task = _Task(index, name, source, kind, analysis)
+            if cache is not None:
+                key = cache_key(
+                    source,
+                    kind,
+                    analysis,
+                    ANALYSES[analysis].config_slice(merged),
+                    repro.__version__,
+                )
+                keys[(index, analysis)] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    results[(index, analysis)] = hit
+                    continue
+            pending.append(task)
+
+    computed = _execute(pending, merged, jobs)
+    for task, result in zip(pending, computed):
+        results[(task.index, task.analysis)] = result
+        if cache is not None:
+            cache.put(keys[(task.index, task.analysis)], task.analysis, result)
+
+    programs = [
+        {
+            "name": name,
+            "kind": kind,
+            "analyses": {a: results[(index, a)] for a in sorted(analyses)},
+        }
+        for index, (name, source, kind) in enumerate(entries)
+    ]
+    stats = {
+        "jobs": jobs,
+        "tasks": len(entries) * len(analyses),
+        "computed": len(pending),
+        "elapsed_seconds": time.perf_counter() - started,
+        "cache": (cache.stats if cache is not None else CacheStats()).to_dict(),
+        "cache_dir": cache_dir if cache is not None else None,
+    }
+    return PipelineResult(programs, tuple(sorted(analyses)), merged, stats)
+
+
+def _execute(pending: List[_Task], config: dict, jobs: int) -> List[dict]:
+    """Run the cache misses, in-process or across a worker pool."""
+    payloads = [(t.source, t.kind, t.analysis, config) for t in pending]
+    if jobs <= 1 or len(payloads) <= 1:
+        return [_compute(payload) for payload in payloads]
+    # fork shares the already-imported package with workers; spawn (the
+    # only option on some platforms) pays a per-worker import instead.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
+        return pool.map(_compute, payloads, chunksize=1)

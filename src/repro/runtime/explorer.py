@@ -11,6 +11,15 @@ and always copies the zero-ness of ``x`` into ``y``.
 
 State identity includes the attached monitor (if any), so label
 evolution can be explored exhaustively too.
+
+``explore(..., por=True)`` enables an independence-based partial-order
+reduction: when some enabled process's next action has a variable
+footprint disjoint from everything every *other* process may ever
+touch, the two orders of any pair of such steps commute, so only one
+representative interleaving is expanded from that state.  The
+reduction preserves the outcome set exactly (see ``docs/pipeline.md``
+for the argument) while visiting strictly fewer states on programs
+with thread-local work.
 """
 
 from __future__ import annotations
@@ -19,7 +28,17 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import ExplorationLimitExceeded
-from repro.lang.ast import Program, Stmt
+from repro.lang.ast import (
+    Assign,
+    If,
+    Program,
+    Signal,
+    Stmt,
+    Wait,
+    While,
+    expr_variables,
+    used_variables,
+)
 from repro.runtime.eval import Value
 from repro.runtime.machine import Machine, Pid
 
@@ -47,6 +66,19 @@ class Outcome:
         keep = frozenset(names)
         return Outcome(self.status, tuple(kv for kv in self.store if kv[0] in keep))
 
+    def sort_key(self) -> Tuple:
+        """A total order on outcomes, stable across processes and runs.
+
+        Serialization paths must never rely on set/dict iteration order
+        (which varies with ``PYTHONHASHSEED``); sorting by this key
+        makes any outcome listing canonical.
+        """
+        return (self.status, self.store)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON shape: ``{"status": ..., "store": [[name, value], ...]}``."""
+        return {"status": self.status, "store": [list(kv) for kv in self.store]}
+
     def __str__(self) -> str:
         items = ", ".join(f"{k}={v}" for k, v in self.store)
         return f"{self.status}({items})"
@@ -62,6 +94,7 @@ class ExplorationResult:
         transitions: int,
         complete: bool,
         schedules: Dict[Outcome, Tuple[Pid, ...]],
+        por: bool = False,
     ):
         self.outcomes = outcomes
         self.states_visited = states_visited
@@ -70,6 +103,8 @@ class ExplorationResult:
         self.complete = complete
         #: One witness schedule per outcome (replayable via FixedScheduler).
         self.schedules = dict(schedules)
+        #: True when partial-order reduction was active for this run.
+        self.por = por
 
     @property
     def completed_outcomes(self) -> FrozenSet[Outcome]:
@@ -88,11 +123,80 @@ class ExplorationResult:
         """All values ``name`` can hold at completion."""
         return {o.value(name) for o in self.completed_outcomes}
 
+    def sorted_outcomes(self) -> List[Outcome]:
+        """The outcomes in canonical order (see :meth:`Outcome.sort_key`)."""
+        return sorted(self.outcomes, key=Outcome.sort_key)
+
     def __repr__(self) -> str:
         return (
             f"<ExplorationResult {len(self.outcomes)} outcomes, "
             f"{self.states_visited} states, complete={self.complete}>"
         )
+
+
+def _action_footprint(head) -> FrozenSet[str]:
+    """Variables the next atomic action of a process reads or writes.
+
+    Semaphore operations count as read+write of the semaphore (a
+    ``signal`` can enable a blocked ``wait``, so two operations on the
+    same semaphore never commute).  ``skip`` touches nothing.
+    """
+    if isinstance(head, Assign):
+        return expr_variables(head.expr) | {head.target}
+    if isinstance(head, (If, While)):
+        return expr_variables(head.cond)
+    if isinstance(head, (Wait, Signal)):
+        return frozenset((head.sem,))
+    return frozenset()
+
+
+def _future_footprints(machine: Machine, cache: Dict[int, FrozenSet[str]]):
+    """Per-process union of every variable its continuation can touch.
+
+    Every action a process (or any process it later spawns) can ever
+    perform sits in the subtree of some statement currently on its
+    continuation — loop bodies stay attached to their ``while`` node
+    and ``cobegin`` branches are children of the ``cobegin`` — so the
+    statically collected variable set over-approximates the process's
+    entire future footprint.  ``cache`` memoizes per statement ``uid``
+    (the AST is shared across all machine copies of one exploration).
+    """
+    footprints = {}
+    for pid, proc in machine.processes.items():
+        fp: Set[str] = set()
+        for item in proc.continuation:
+            if isinstance(item, Stmt):
+                vars_ = cache.get(item.uid)
+                if vars_ is None:
+                    vars_ = used_variables(item)
+                    cache[item.uid] = vars_
+                fp |= vars_
+        footprints[pid] = fp
+    return footprints
+
+
+def _ample(machine: Machine, enabled: List[Pid], cache) -> List[Pid]:
+    """Pick a sound subset of ``enabled`` to expand (POR step).
+
+    If some enabled process's next action touches only variables no
+    other live process can ever touch again, that action commutes with
+    every other-process action in any future schedule, and a maximal
+    run reaching a terminal state must eventually perform it (it can
+    never be disabled, and completion/deadlock both require this
+    process to move).  Expanding only that process therefore preserves
+    the exact set of completed and deadlocked outcomes.  When no such
+    process exists, the full enabled set is returned (no reduction).
+    """
+    footprints = _future_footprints(machine, cache)
+    for pid in enabled:
+        action = _action_footprint(machine.processes[pid].head())
+        if all(
+            action.isdisjoint(fp)
+            for other, fp in footprints.items()
+            if other != pid
+        ):
+            return [pid]
+    return enabled
 
 
 def explore(
@@ -102,6 +206,7 @@ def explore(
     max_states: int = 200_000,
     max_depth: int = 2_000,
     on_limit: str = "mark",
+    por: bool = False,
 ) -> ExplorationResult:
     """Explore every interleaving of ``subject``.
 
@@ -111,8 +216,16 @@ def explore(
     bounds schedule length (hitting it records a ``cutoff`` outcome —
     evidence of possible divergence).  ``on_limit`` is ``"mark"``
     (record incompleteness in the result) or ``"raise"``.
+
+    ``por=True`` enables the independence-based partial-order
+    reduction (see :func:`_ample`): same outcome set, usually fewer
+    states.  A machine with a monitor attached is never reduced —
+    monitor snapshots can distinguish interleavings that the store
+    cannot, so commuting steps would not be outcome-preserving.
     """
     root = Machine(subject, store=store, monitor=monitor)
+    reduce = por and monitor is None
+    footprint_cache: Dict[int, FrozenSet[str]] = {}
     visited: Set[Tuple] = set()
     outcomes: Set[Outcome] = set()
     schedules: Dict[Outcome, Tuple[Pid, ...]] = {}
@@ -153,6 +266,8 @@ def explore(
             complete = False
             continue
         enabled = machine.enabled()
+        if reduce and len(enabled) > 1:
+            enabled = _ample(machine, enabled, footprint_cache)
         for i, pid in enumerate(enabled):
             # The last branch may reuse the machine instead of copying.
             branch = machine if i == len(enabled) - 1 else machine.copy()
@@ -160,5 +275,6 @@ def explore(
             transitions += 1
             stack.append((branch, schedule + (pid,)))
     return ExplorationResult(
-        frozenset(outcomes), states_visited, transitions, complete, schedules
+        frozenset(outcomes), states_visited, transitions, complete, schedules,
+        por=reduce,
     )

@@ -60,7 +60,7 @@ class NIResult:
             for j, b in enumerate(self.projected):
                 diff = a - b
                 if diff:
-                    return (i, j, next(iter(sorted(diff, key=str))))
+                    return (i, j, min(diff, key=Outcome.sort_key))
         return None
 
     def __repr__(self) -> str:

@@ -1,0 +1,1 @@
+"""The batch pipeline test suite."""

@@ -1,0 +1,148 @@
+"""Cache correctness: accounting, key sensitivity, corruption recovery."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.pipeline import ResultCache, cache_key, run_pipeline
+from repro.pipeline.analyses import ANALYSES, DEFAULT_CONFIG
+from repro.workloads.litmus import CASES
+
+
+def small_corpus(n=4):
+    return [(case.name, case.statement()) for case in CASES[:n]]
+
+
+def test_cold_run_misses_then_warm_run_hits(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    assert cold.stats["cache"] == {
+        "hits": 0, "misses": 4, "writes": 4, "corrupt": 0,
+    }
+    warm = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    assert warm.stats["cache"] == {
+        "hits": 4, "misses": 0, "writes": 0, "corrupt": 0,
+    }
+    assert warm.stats["computed"] == 0
+    assert cold.to_json() == warm.to_json()
+
+
+def test_partial_overlap_accounts_hits_and_misses(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_pipeline(small_corpus(2), analyses=("cert",), cache_dir=cache_dir)
+    mixed = run_pipeline(small_corpus(4), analyses=("cert",), cache_dir=cache_dir)
+    assert mixed.stats["cache"]["hits"] == 2
+    assert mixed.stats["cache"]["misses"] == 2
+
+
+def test_use_cache_false_never_touches_disk(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    result = run_pipeline(
+        small_corpus(), analyses=("cert",), cache_dir=cache_dir, use_cache=False
+    )
+    assert result.stats["cache"] == {
+        "hits": 0, "misses": 0, "writes": 0, "corrupt": 0,
+    }
+    assert not os.path.exists(cache_dir)
+
+
+def _keys_for(config_overrides, version=None):
+    """Cache keys for one litmus program under a config variation."""
+    from repro.lang.pretty import pretty
+
+    source = pretty(CASES[0].statement())
+    config = dict(DEFAULT_CONFIG)
+    config.update(config_overrides)
+    config["high"] = tuple(sorted(config["high"]))
+    return {
+        name: cache_key(
+            source,
+            "statement",
+            name,
+            spec.config_slice(config),
+            version or repro.__version__,
+        )
+        for name, spec in ANALYSES.items()
+    }
+
+
+def test_key_changes_with_scheme_policy_and_version():
+    base = _keys_for({})
+    # Changing the lattice invalidates every policy-consuming analysis.
+    four = _keys_for({"scheme": "four-level"})
+    assert four["cert"] != base["cert"]
+    assert four["lint"] != base["lint"]
+    # Changing the policy (high-variable set) likewise.
+    high = _keys_for({"high": ("h", "h2", "l2")})
+    assert high["cert"] != base["cert"]
+    # Changing explorer budgets touches only the explorer.
+    budget = _keys_for({"max_states": 999})
+    assert budget["explore"] != base["explore"]
+    assert budget["cert"] == base["cert"]
+    assert budget["lint"] == base["lint"]
+    # A new package version invalidates everything.
+    bumped = _keys_for({}, version="999.0.0")
+    for name in base:
+        assert bumped[name] != base[name], name
+
+
+def test_key_changes_with_program_text():
+    a = cache_key("l := h", "statement", "cert", {}, "1.0.0")
+    b = cache_key("l := h2", "statement", "cert", {}, "1.0.0")
+    assert a != b
+    # and is stable for identical inputs
+    assert a == cache_key("l := h", "statement", "cert", {}, "1.0.0")
+
+
+@pytest.mark.parametrize("damage", ["truncate", "garbage", "wrong-key", "empty"])
+def test_corrupted_cache_entry_recomputes_not_crashes(tmp_path, damage):
+    cache_dir = str(tmp_path / "cache")
+    first = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    files = sorted(
+        os.path.join(root, f)
+        for root, _, names in os.walk(cache_dir)
+        for f in names
+    )
+    assert len(files) == 4
+    victim = files[0]
+    if damage == "truncate":
+        with open(victim, "r+", encoding="utf-8") as handle:
+            handle.truncate(10)
+    elif damage == "garbage":
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write("\x00not json at all")
+    elif damage == "wrong-key":
+        with open(victim, "w", encoding="utf-8") as handle:
+            json.dump({"key": "0" * 64, "analysis": "cert", "result": {}}, handle)
+    else:  # empty
+        open(victim, "w").close()
+    again = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    assert again.stats["cache"]["corrupt"] == 1
+    assert again.stats["cache"]["hits"] == 3
+    assert again.stats["cache"]["misses"] == 1
+    # the damaged entry was recomputed and the document is unharmed
+    assert again.to_json() == first.to_json()
+    # and the entry was healed on disk
+    healed = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    assert healed.stats["cache"]["hits"] == 4
+
+
+def test_cache_get_put_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    cache.put(key, "cert", {"certified": True})
+    assert cache.get(key) == {"certified": True}
+    assert cache.stats.to_dict() == {
+        "hits": 1, "misses": 1, "writes": 1, "corrupt": 0,
+    }
+
+
+def test_unwritable_cache_root_is_a_no_op(tmp_path):
+    blocker = tmp_path / "flat"
+    blocker.write_text("a file where the cache root should be")
+    cache = ResultCache(str(blocker / "sub"))
+    cache.put("ab" + "0" * 62, "cert", {"certified": True})  # must not raise
+    assert cache.stats.writes == 0

@@ -1,0 +1,132 @@
+"""Runner and CLI behaviour of the batch pipeline."""
+
+import pytest
+
+from repro.cli import main
+from repro.pipeline import run_pipeline
+from repro.pipeline.analyses import analysis_names
+from repro.workloads.litmus import CASES
+
+
+def litmus_corpus():
+    return [(case.name, case.statement()) for case in CASES]
+
+
+def test_cert_results_match_litmus_expectations():
+    """The pipeline's config-derived binding is the litmus convention,
+    so its ``cert`` verdicts must agree with the labelled suite."""
+    result = run_pipeline(litmus_corpus(), analyses=("cert",), use_cache=False)
+    for case in CASES:
+        got = result.program(case.name)["analyses"]["cert"]["certified"]
+        assert got == case.cfm, case.name
+
+
+def test_denning_and_fs_results_match_litmus_expectations():
+    result = run_pipeline(
+        litmus_corpus(), analyses=("denning", "fs"), use_cache=False
+    )
+    for case in CASES:
+        entry = result.program(case.name)["analyses"]
+        assert entry["denning"]["certified"] == case.denning, case.name
+        assert entry["fs"]["certified"] == case.flow_sensitive, case.name
+
+
+def test_explore_analysis_reports_deadlock():
+    from repro.lang.parser import parse_statement
+
+    # cyclic wait: both branches block with every semaphore at zero
+    stmt = parse_statement(
+        "cobegin begin wait(a); signal(b) end"
+        " || begin wait(b); signal(a) end coend"
+    )
+    result = run_pipeline(
+        [("cycle", stmt)], analyses=("explore",), use_cache=False
+    )
+    data = result.program("cycle")["analyses"]["explore"]
+    assert data["complete"] is True
+    assert data["deadlock_free"] is False
+    statuses = {o["status"] for o in data["outcomes"]}
+    assert "deadlock" in statuses
+
+
+def test_unknown_analysis_and_config_are_rejected():
+    corpus = litmus_corpus()[:1]
+    with pytest.raises(ValueError, match="unknown analysis"):
+        run_pipeline(corpus, analyses=("nope",))
+    with pytest.raises(ValueError, match="unknown config key"):
+        run_pipeline(corpus, analyses=("cert",), config={"typo": 1})
+    with pytest.raises(ValueError, match="no analyses"):
+        run_pipeline(corpus, analyses=())
+    with pytest.raises(ValueError, match="duplicate program name"):
+        run_pipeline(corpus + corpus, analyses=("cert",))
+
+
+def test_analysis_failure_is_reported_not_fatal():
+    """A program one analysis cannot handle yields an error entry."""
+    from repro.lang.parser import parse_statement
+
+    # division by zero at runtime: explore fails, cert does not
+    corpus = [("bad", parse_statement("x := 1 / 0")), ("ok", CASES[0].statement())]
+    result = run_pipeline(corpus, analyses=("cert", "explore"), use_cache=False)
+    errors = result.errors()
+    assert ("bad", "explore") in {(n, a) for n, a, _ in errors}
+    assert result.program("ok")["analyses"]["explore"]["complete"] is True
+    assert result.program("bad")["analyses"]["cert"]["certified"] is True
+
+
+def test_every_registered_analysis_runs_on_a_simple_program():
+    from repro.lang.parser import parse_statement
+
+    corpus = [("simple", parse_statement("begin l := 1; l2 := l end"))]
+    result = run_pipeline(corpus, analyses=analysis_names(), use_cache=False)
+    assert not result.errors()
+    entry = result.program("simple")["analyses"]
+    assert entry["cert"]["certified"] is True
+    assert entry["prove"]["valid"] is True
+    assert entry["metrics"]["statements"] == 3
+
+
+def test_cli_batch_human_output(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    code = main(
+        ["batch", "--corpus", "litmus", "--analyses", "cert",
+         "--cache-dir", cache_dir]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "explicit: cert=REJECT" in out
+    assert "19 programs x 1 analyses" in out
+
+
+def test_cli_batch_rejects_bad_input(capsys):
+    with pytest.raises(SystemExit):
+        main(["batch", "--analyses", "cert"])  # no corpus at all
+    with pytest.raises(SystemExit):
+        main(["batch", "--corpus", "litmus", "--analyses", "nope"])
+    with pytest.raises(SystemExit):
+        main(["batch", "--corpus", "nope", "--analyses", "cert"])
+    with pytest.raises(SystemExit):
+        main(["batch", "--corpus", "litmus", "--analyses", "cert",
+              "--scheme", "nope"])
+
+
+def test_cli_batch_listings(capsys):
+    assert main(["batch", "--list-corpora"]) == 0
+    assert "litmus" in capsys.readouterr().out
+    assert main(["batch", "--list-analyses"]) == 0
+    out = capsys.readouterr().out
+    assert "cert:" in out and "explore:" in out
+
+
+def test_cli_batch_high_and_scheme_knobs(tmp_path, capsys):
+    program = tmp_path / "p.rl"
+    program.write_text("var a, b : integer; b := a")
+    # default policy: a and b are both low -> certified
+    assert main(["batch", str(program), "--analyses", "cert", "--no-cache"]) == 0
+    assert "cert=ok" in capsys.readouterr().out
+    # bind a above b -> rejected
+    assert main(
+        ["batch", str(program), "--analyses", "cert", "--no-cache",
+         "--high", "a"]
+    ) == 0
+    assert "cert=REJECT" in capsys.readouterr().out
