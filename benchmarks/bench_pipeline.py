@@ -11,6 +11,11 @@ Two experiments, emitted together as ``BENCH_pipeline.json``:
   ``cpu_count`` and the assertion only applies where the hardware can
   deliver it.  The warm-cache ratio is hardware-independent.
 
+* **observe** — the same serial matrix with the trace sink off vs
+  streaming to a JSON-lines file: the observability layer must be
+  read-only (byte-identical documents) and near-free (a loose
+  overhead gate in full mode).
+
 * **por** — naive vs reduced exploration over the litmus suite and a
   runtime-safe concurrent corpus: states visited by each, and an
   outcome-set comparison that must show zero differences.
@@ -105,6 +110,49 @@ def throughput_experiment(corpus, cache_dir: str, jobs: int):
     }
 
 
+def observe_overhead_experiment(corpus):
+    """Cost of the observability layer: no sink vs a live JSONL sink.
+
+    The metrics aggregation itself is always on (it is how degraded
+    and crashed cells get reported), so the measurable knob is the
+    trace sink.  The documents must stay byte-identical either way —
+    observability is read-only by contract.
+    """
+    import os
+    import tempfile
+
+    from repro.observe import JsonlEmitter, validate_metrics
+
+    config = {"max_states": MAX_STATES}
+    t_off, off = _timed(
+        lambda: run_pipeline(corpus, ANALYSES, jobs=1, use_cache=False, config=config)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.jsonl")
+        emitter = JsonlEmitter(path=path)
+        try:
+            t_on, on = _timed(
+                lambda: run_pipeline(
+                    corpus, ANALYSES, jobs=1, use_cache=False,
+                    config=config, trace=emitter,
+                )
+            )
+        finally:
+            emitter.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            trace_records = sum(1 for _ in handle)
+    assert off.to_json() == on.to_json(), (
+        "the trace sink changed the result document"
+    )
+    return {
+        "disabled_seconds": t_off,
+        "tracing_seconds": t_on,
+        "overhead": (t_on / t_off - 1.0) if t_off > 0 else 0.0,
+        "trace_records": trace_records,
+        "metrics_valid": validate_metrics(on.metrics) == [],
+    }
+
+
 def por_experiment(corpus):
     """Naive vs POR explorer: states visited and outcome-set equality."""
     rows = []
@@ -166,6 +214,7 @@ def main(argv=None) -> int:
         throughput = throughput_experiment(
             corpus, args.cache_dir or tmp, args.jobs
         )
+    observe = observe_overhead_experiment(corpus)
     por = por_experiment(corpus)
 
     emit_table(
@@ -182,6 +231,18 @@ def main(argv=None) -> int:
                 "warm cache",
                 f"{throughput['warm_cache_seconds']:.2f}",
                 f"{throughput['speedup_warm_cache']:.1f}x",
+            ),
+        ],
+    )
+    emit_table(
+        "observability overhead (trace sink off vs on)",
+        ["mode", "seconds", "trace records"],
+        [
+            ("no sink", f"{observe['disabled_seconds']:.2f}", "-"),
+            (
+                "jsonl sink",
+                f"{observe['tracing_seconds']:.2f}",
+                observe["trace_records"],
             ),
         ],
     )
@@ -205,6 +266,7 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "cpu_count": multiprocessing.cpu_count(),
         "throughput": throughput,
+        "observe": observe,
         "por": por,
     }
     path = write_bench_json("pipeline", payload)
@@ -212,10 +274,13 @@ def main(argv=None) -> int:
 
     # Correctness gates hold in every mode.
     assert por["mismatches"] == 0, "POR changed an outcome set"
+    assert observe["metrics_valid"], "metrics document failed validation"
     if args.smoke:
         return 0
     # Perf gates: warm cache is hardware-independent; parallel speedup
-    # needs the cores to exist.
+    # needs the cores to exist.  The trace-sink gate is loose — it only
+    # has to catch an accidental hot-path regression, not wall noise.
+    assert observe["overhead"] <= 0.25, observe
     assert throughput["speedup_warm_cache"] >= 10, throughput
     assert por["concurrent_reduced_fraction"] >= 0.5, por
     if multiprocessing.cpu_count() >= 4:

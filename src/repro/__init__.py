@@ -47,6 +47,7 @@ from repro.core import (
     infer_binding,
 )
 from repro.logic import check_proof, generate_proof
+from repro.observe import Budget
 from repro.runtime import (
     EnforcingMonitor,
     TaintMonitor,
@@ -55,7 +56,7 @@ from repro.runtime import (
     run,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -85,6 +86,8 @@ __all__ = [
     # flow logic
     "generate_proof",
     "check_proof",
+    # observability
+    "Budget",
     # runtime
     "run",
     "explore",

@@ -20,9 +20,16 @@ def full_report(
     include_flows: bool = True,
     denning_mode: Optional[str] = "ignore",
     include_lint: bool = True,
+    explore_budget=None,
 ) -> str:
     """One text report: metrics, CFM result, optional Denning baseline,
-    the variable flow relation, and the static-lint findings."""
+    the variable flow relation, and the static-lint findings.
+
+    ``explore_budget`` (a :class:`repro.observe.Budget`) additionally
+    runs the interleaving explorer under that budget and appends an
+    exploration-metrics section; a partial (degraded) exploration is
+    reported as such rather than raising.
+    """
     lines = []
     metrics = measure(subject)
     lines.append(f"program: {metrics}")
@@ -60,4 +67,26 @@ def full_report(
                 f"    {diagnostic.span.line}:{diagnostic.span.column}: "
                 f"{diagnostic.code} {diagnostic.message}"
             )
+    if explore_budget is not None:
+        from repro.runtime.explorer import explore
+
+        exploration = explore(subject, budget=explore_budget, por=True)
+        lines.append("")
+        lines.append(f"exploration (budget {explore_budget}):")
+        lines.append(
+            f"    {exploration.states_visited} states, "
+            f"{exploration.transitions} transitions, "
+            f"{len(exploration.outcomes)} outcome(s), "
+            f"complete={exploration.complete}"
+        )
+        if exploration.degraded:
+            lines.append(
+                f"    degraded: hit the {exploration.limit} budget; "
+                f"{exploration.abandoned} frontier state(s) abandoned"
+            )
+        lines.append(
+            f"    deadlock-free={exploration.deadlock_free}, "
+            f"peak processes={exploration.peak_processes}, "
+            f"POR-reduced branch points={exploration.reduced_states}"
+        )
     return "\n".join(lines)

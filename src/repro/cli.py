@@ -117,20 +117,71 @@ def _binding(args, program: Program) -> StaticBinding:
     return binding
 
 
-def _add_common(sub: argparse.ArgumentParser, bind: bool = True) -> None:
-    sub.add_argument("program", help="program source file, or - for stdin")
+def _add_scheme_flags(
+    sub: argparse.ArgumentParser,
+    include_file: bool = True,
+    help_text: str = "classification scheme (default: two-level)",
+) -> None:
+    """The ``--scheme``/``--scheme-file`` pair, defined once.
+
+    Every subcommand that resolves a policy shares these; the help
+    text is the only thing allowed to vary (the flags themselves had
+    already drifted apart once when they were copy-pasted).
+    """
     sub.add_argument(
         "--scheme",
         choices=sorted(_SCHEMES),
         default="two-level",
-        help="classification scheme (default: two-level)",
+        help=help_text,
+    )
+    if include_file:
+        sub.add_argument(
+            "--scheme-file",
+            metavar="FILE",
+            help="custom scheme spec (chain: a < b < c, or elements:/order:); "
+            "overrides --scheme",
+        )
+
+
+def _add_budget_flags(
+    sub: argparse.ArgumentParser,
+    max_states_default: int = 200_000,
+    max_depth_default: int = 2_000,
+) -> None:
+    """The exploration budget trio (``--max-states``/``--max-depth``/
+    ``--deadline``), shared by ``explore``, ``report`` and ``batch``.
+
+    Only the ``--max-states`` default varies (the batch pipeline uses
+    a deliberately lower per-program budget); the flags themselves are
+    defined exactly once so they can never drift again.
+    """
+    sub.add_argument(
+        "--max-states",
+        type=int,
+        default=max_states_default,
+        metavar="N",
+        help=f"distinct-state budget (default: {max_states_default})",
     )
     sub.add_argument(
-        "--scheme-file",
-        metavar="FILE",
-        help="custom scheme spec (chain: a < b < c, or elements:/order:); "
-        "overrides --scheme",
+        "--max-depth",
+        type=int,
+        default=max_depth_default,
+        metavar="N",
+        help=f"schedule-length budget (default: {max_depth_default})",
     )
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exhausting it yields a partial result "
+        "flagged degraded instead of an error",
+    )
+
+
+def _add_common(sub: argparse.ArgumentParser, bind: bool = True) -> None:
+    sub.add_argument("program", help="program source file, or - for stdin")
+    _add_scheme_flags(sub)
     if bind:
         sub.add_argument(
             "--bind",
@@ -243,8 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subs.add_parser("explore", help="exhaustively explore all interleavings")
     _add_common(sub, bind=False)
     sub.add_argument("--set", action="append", metavar="VAR=INT")
-    sub.add_argument("--max-states", type=int, default=200_000)
-    sub.add_argument("--max-depth", type=int, default=2_000)
+    _add_budget_flags(sub)
     sub.add_argument(
         "--por",
         action="store_true",
@@ -254,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subs.add_parser("report", help="full report: CFM, baseline, flow relation")
     _add_common(sub)
     sub.add_argument("--source", action="store_true", help="include the pretty-printed source")
+    sub.add_argument(
+        "--explore",
+        action="store_true",
+        help="append an exploration-metrics section (honours the budget flags)",
+    )
+    _add_budget_flags(sub)
 
     sub = subs.add_parser(
         "lint",
@@ -266,16 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="source files (- for stdin) or Python modules with embedded "
         "programs (the examples/ convention)",
     )
-    sub.add_argument(
-        "--scheme",
-        choices=sorted(_SCHEMES),
-        default="two-level",
-        help="classification scheme for the label passes (default: two-level)",
-    )
-    sub.add_argument(
-        "--scheme-file",
-        metavar="FILE",
-        help="custom scheme spec; overrides --scheme",
+    _add_scheme_flags(
+        sub,
+        help_text="classification scheme for the label passes "
+        "(default: two-level)",
     )
     sub.add_argument(
         "--bind",
@@ -382,11 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print run statistics (timing, cache hits) to stderr",
     )
-    sub.add_argument(
-        "--scheme",
-        default="two-level",
-        metavar="NAME",
-        help="classification scheme for policy-based analyses "
+    _add_scheme_flags(
+        sub,
+        include_file=False,
+        help_text="classification scheme for policy-based analyses "
         "(default: two-level)",
     )
     sub.add_argument(
@@ -396,12 +445,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated variables bound to the scheme top "
         "(default: h,h2); everything else binds to bottom",
     )
-    sub.add_argument("--max-states", type=int, default=20_000)
-    sub.add_argument("--max-depth", type=int, default=2_000)
+    _add_budget_flags(sub, max_states_default=20_000)
     sub.add_argument(
         "--no-por",
         action="store_true",
         help="disable partial-order reduction in the explore analysis",
+    )
+    sub.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the run's metrics document (schema repro-metrics/1) "
+        "as JSON",
+    )
+    sub.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream span/counter/event trace records as JSON lines",
     )
     return parser
 
@@ -550,11 +609,7 @@ def _cmd_batch(args) -> int:
     analyses = _split_codes([args.analyses])
     if not analyses:
         raise SystemExit("error: --analyses needs at least one analysis name")
-    if args.scheme not in scheme_names():
-        raise SystemExit(
-            f"error: unknown scheme {args.scheme!r}; "
-            f"choices: {list(scheme_names())}"
-        )
+    assert args.scheme in scheme_names()  # argparse choices enforce this
 
     corpus = []
     for path in args.programs:
@@ -576,7 +631,13 @@ def _cmd_batch(args) -> int:
         "max_states": args.max_states,
         "max_depth": args.max_depth,
         "por": not args.no_por,
+        "deadline": args.deadline,
     }
+    trace = None
+    if args.trace:
+        from repro.observe import JsonlEmitter
+
+        trace = JsonlEmitter(path=args.trace)
     try:
         result = run_pipeline(
             corpus,
@@ -585,9 +646,18 @@ def _cmd_batch(args) -> int:
             cache_dir=None if args.no_cache else args.cache_dir,
             use_cache=not args.no_cache,
             config=config,
+            trace=trace,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    finally:
+        if trace is not None:
+            trace.close()
+    if args.metrics:
+        import json as json_mod
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json_mod.dump(result.metrics, handle, indent=2, sort_keys=True)
 
     if args.json:
         print(result.to_json())
@@ -605,9 +675,14 @@ def _cmd_batch(args) -> int:
                 elif analysis == "lint":
                     cells.append(f"lint={data['findings']}")
                 elif analysis == "explore":
+                    tag = (
+                        f" DEGRADED({data.get('limit')})"
+                        if data.get("degraded")
+                        else ""
+                    )
                     cells.append(
                         f"explore={len(data['outcomes'])} outcomes/"
-                        f"{data['states']} states"
+                        f"{data['states']} states{tag}"
                     )
                 elif analysis == "prove":
                     cells.append(
@@ -623,6 +698,11 @@ def _cmd_batch(args) -> int:
             f"{stats['cache']['hits']} cached, "
             f"{stats['elapsed_seconds']:.2f}s with {stats['jobs']} job(s)"
         )
+        degraded = result.degraded()
+        if degraded:
+            print(f"{len(degraded)} degraded (partial) result(s):")
+            for name, analysis, limit in degraded:
+                print(f"  {name}/{analysis}: {limit} budget hit")
     if args.stats:
         import json as json_mod
 
@@ -797,24 +877,46 @@ def _dispatch(args) -> int:
         return 0 if result.completed else 1
 
     if args.command == "explore":
+        from repro.observe import Budget
+
         store = {k: int(v) for k, v in _parse_pairs(args.set, "--set").items()}
-        result = explore(
-            program,
-            store=store,
+        budget = Budget(
             max_states=args.max_states,
             max_depth=args.max_depth,
-            por=args.por,
+            deadline=args.deadline,
         )
+        result = explore(program, store=store, budget=budget, por=args.por)
         print(
             f"{result.states_visited} states, {result.transitions} transitions, "
             f"complete={result.complete}"
         )
+        if result.degraded:
+            print(
+                f"  degraded: hit the {result.limit} budget with "
+                f"{result.abandoned} frontier state(s) abandoned"
+            )
         for outcome in result.sorted_outcomes():
             print(f"  {outcome}")
         return 0 if result.deadlock_free else 1
 
     if args.command == "report":
-        print(full_report(program, _binding(args, program), include_source=args.source))
+        explore_budget = None
+        if args.explore:
+            from repro.observe import Budget
+
+            explore_budget = Budget(
+                max_states=args.max_states,
+                max_depth=args.max_depth,
+                deadline=args.deadline,
+            )
+        print(
+            full_report(
+                program,
+                _binding(args, program),
+                include_source=args.source,
+                explore_budget=explore_budget,
+            )
+        )
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

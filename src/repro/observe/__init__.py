@@ -1,0 +1,52 @@
+"""Observability and resource governance for the analysis pipeline.
+
+Three small layers, used together by the explorer, the batch pipeline,
+and the CLI:
+
+* :mod:`repro.observe.budget` — :class:`Budget`, one value unifying
+  every resource limit an analysis honours (distinct states, schedule
+  depth, wall-clock deadline), and :class:`BudgetClock`, its started
+  form.  Analyses that exhaust a budget return *partial results flagged
+  degraded* instead of raising — the degradation contract that keeps a
+  single runaway program from stalling a corpus run.
+
+* :mod:`repro.observe.trace` — span/counter/event emitters.  The
+  default :data:`NULL_EMITTER` costs one ``is not None``-style check
+  per call site; :class:`JsonlEmitter` streams events to a JSON-lines
+  sink; :class:`RecordingEmitter` keeps them in memory for tests.
+
+* :mod:`repro.observe.metrics` — in-process aggregation of the events
+  the pipeline emits into one metrics document
+  (``repro batch --metrics out.json``), plus the schema validator the
+  test suite and CI run against that document.
+
+See ``docs/observability.md`` for the trace schema, the budget
+semantics, and the degradation contract.
+"""
+
+from repro.observe.budget import Budget, BudgetClock
+from repro.observe.metrics import (
+    METRICS_SCHEMA,
+    MetricsAggregator,
+    validate_metrics,
+)
+from repro.observe.trace import (
+    NULL_EMITTER,
+    JsonlEmitter,
+    NullEmitter,
+    RecordingEmitter,
+    TraceEmitter,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "JsonlEmitter",
+    "METRICS_SCHEMA",
+    "MetricsAggregator",
+    "NULL_EMITTER",
+    "NullEmitter",
+    "RecordingEmitter",
+    "TraceEmitter",
+    "validate_metrics",
+]

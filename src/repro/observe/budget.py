@@ -1,0 +1,95 @@
+"""Unified resource budgets for explorations and pipeline analyses.
+
+A :class:`Budget` names every limit an analysis is willing to honour:
+
+* ``max_states`` — distinct machine states an exploration may visit;
+* ``max_depth`` — schedule length before a branch is cut off;
+* ``deadline`` — wall-clock seconds for the whole analysis.
+
+``None`` means *no limit of that kind* (the call site's default
+applies).  A budget is inert data until :meth:`Budget.start` stamps a
+monotonic clock and returns a :class:`BudgetClock`, whose
+:meth:`~BudgetClock.expired` check is what long-running loops poll.
+
+The degradation contract (see ``docs/observability.md``): an analysis
+given a budget never raises when it runs out — it returns whatever it
+computed so far, flagged ``degraded`` with the limit that fired, so a
+batch over an arbitrary corpus always produces a full document and the
+caller can audit exactly what was truncated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: How many loop iterations may pass between deadline polls.  Checking
+#: the clock every iteration would cost a syscall per state; every
+#: ``DEADLINE_CHECK_EVERY`` keeps the overhead unmeasurable while
+#: bounding the overshoot to a few microseconds of extra work.
+DEADLINE_CHECK_EVERY = 64
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one analysis run (``None`` = unlimited)."""
+
+    max_states: Optional[int] = None
+    max_depth: Optional[int] = None
+    deadline: Optional[float] = None
+
+    def start(self) -> "BudgetClock":
+        """Stamp the wall clock and return the running form."""
+        return BudgetClock(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON shape (stable key order comes from ``sort_keys``)."""
+        return {
+            "max_states": self.max_states,
+            "max_depth": self.max_depth,
+            "deadline": self.deadline,
+        }
+
+    def __str__(self) -> str:
+        parts = []
+        if self.max_states is not None:
+            parts.append(f"states<={self.max_states}")
+        if self.max_depth is not None:
+            parts.append(f"depth<={self.max_depth}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}s")
+        return "Budget(" + ", ".join(parts or ["unlimited"]) + ")"
+
+
+class BudgetClock:
+    """A started :class:`Budget`: the limits plus a monotonic origin."""
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self._started = time.monotonic()
+        self._deadline_at = (
+            self._started + budget.deadline
+            if budget.deadline is not None
+            else None
+        )
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`Budget.start`."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when there is none)."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """True once the wall-clock deadline has passed."""
+        return (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        )
+
+    def __repr__(self) -> str:
+        return f"<BudgetClock {self.budget} elapsed={self.elapsed():.3f}s>"

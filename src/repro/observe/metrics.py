@@ -1,0 +1,238 @@
+"""In-process aggregation of pipeline trace events into one document.
+
+The batch pipeline narrates its run through a :class:`MetricsAggregator`
+(which also forwards every record to an optional trace sink, so one
+wiring gives both the JSON-lines trace and the aggregate).  At the end
+of the run the aggregator renders the **metrics document** — the shape
+behind ``repro batch --metrics out.json``:
+
+``schema``
+    the literal :data:`METRICS_SCHEMA` tag, so consumers can reject
+    documents from a different layout generation;
+``run``
+    wall time, worker count, the per-analysis deadline, and the task
+    ledger (computed / cached / ok / errors / degraded);
+``workers``
+    pool lifecycle counts: pools started, crashes observed, tasks
+    retried after a crash, tasks abandoned after bounded retry;
+``cache``
+    the content-addressed cache counters (hits / misses / writes /
+    corrupt) plus ``skipped_degraded`` — degraded partial results are
+    deliberately never cached;
+``analyses``
+    per-analysis totals: tasks, wall seconds (total and max), and for
+    the explorer the summed states / transitions / POR-reduced states;
+``items``
+    one record per (program, analysis) cell: status (``ok`` /
+    ``cached`` / ``degraded`` / ``error``), seconds (``None`` for
+    cache hits), and the limit or error type where applicable.
+
+:func:`validate_metrics` is the schema check the test suite and the CI
+degraded-mode smoke job run against emitted documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.observe.trace import NULL_EMITTER, TraceEmitter
+
+#: Version tag carried by every metrics document.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Statuses an item record may carry.
+ITEM_STATUSES = ("ok", "cached", "degraded", "error")
+
+#: Worker lifecycle event names the aggregator tallies.
+_WORKER_EVENTS = {
+    "pool_start": "pools",
+    "pool_broken": "crashes",
+    "task_retry": "retries",
+    "task_abandoned": "abandoned",
+}
+
+
+class MetricsAggregator(TraceEmitter):
+    """Aggregates pipeline trace records; forwards them to ``sink``.
+
+    The aggregator is itself a :class:`TraceEmitter`, so producers emit
+    once and both the trace file and the metrics document see the run.
+    """
+
+    def __init__(self, sink: TraceEmitter = NULL_EMITTER):
+        self.sink = sink
+        self.items: List[Dict[str, object]] = []
+        self.workers: Dict[str, int] = {
+            name: 0 for name in _WORKER_EVENTS.values()
+        }
+        self.skipped_degraded = 0
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Tally worker lifecycle events; forward everything to the sink."""
+        if record.get("type") == "event":
+            bucket = _WORKER_EVENTS.get(str(record.get("name")))
+            if bucket is not None:
+                self.workers[bucket] += 1
+        self.sink.emit(record)
+
+    def item(
+        self,
+        program: str,
+        analysis: str,
+        status: str,
+        seconds: Optional[float] = None,
+        error_type: Optional[str] = None,
+        limit: Optional[str] = None,
+        explore: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Record one finished (program, analysis) cell.
+
+        ``explore`` carries the explorer's counters (states,
+        transitions, reduced_states) when the cell ran that analysis.
+        Also emits a ``task`` span to the trace sink.
+        """
+        if status not in ITEM_STATUSES:
+            raise ValueError(f"unknown item status {status!r}")
+        entry: Dict[str, object] = {
+            "program": program,
+            "analysis": analysis,
+            "status": status,
+            "seconds": seconds,
+        }
+        if error_type is not None:
+            entry["error_type"] = error_type
+        if limit is not None:
+            entry["limit"] = limit
+        if explore is not None:
+            entry["explore"] = dict(explore)
+        self.items.append(entry)
+        self.sink.span(
+            "task",
+            seconds if seconds is not None else 0.0,
+            program=program,
+            analysis=analysis,
+            status=status,
+        )
+
+    def cache_skip_degraded(self) -> None:
+        """Note one degraded result deliberately kept out of the cache."""
+        self.skipped_degraded += 1
+        self.sink.event("cache_skip_degraded")
+
+    def to_dict(
+        self,
+        elapsed_seconds: float,
+        jobs: int,
+        deadline: Optional[float],
+        cache: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, object]:
+        """Render the metrics document (see the module docstring)."""
+        items = sorted(
+            self.items, key=lambda e: (e["program"], e["analysis"])
+        )
+        by_status = {status: 0 for status in ITEM_STATUSES}
+        analyses: Dict[str, Dict[str, object]] = {}
+        for entry in items:
+            by_status[str(entry["status"])] += 1
+            agg = analyses.setdefault(
+                str(entry["analysis"]),
+                {
+                    "tasks": 0,
+                    "cached": 0,
+                    "ok": 0,
+                    "degraded": 0,
+                    "errors": 0,
+                    "seconds_total": 0.0,
+                    "seconds_max": 0.0,
+                },
+            )
+            agg["tasks"] += 1
+            key = {"error": "errors"}.get(
+                str(entry["status"]), str(entry["status"])
+            )
+            agg[key] += 1
+            seconds = entry.get("seconds")
+            if isinstance(seconds, (int, float)):
+                agg["seconds_total"] += seconds
+                agg["seconds_max"] = max(agg["seconds_max"], seconds)
+            explore = entry.get("explore")
+            if isinstance(explore, dict):
+                for counter, value in explore.items():
+                    agg[counter] = agg.get(counter, 0) + int(value)
+        cache_section = dict(cache or {})
+        cache_section["skipped_degraded"] = self.skipped_degraded
+        return {
+            "schema": METRICS_SCHEMA,
+            "run": {
+                "elapsed_seconds": elapsed_seconds,
+                "jobs": jobs,
+                "deadline": deadline,
+                "tasks": len(items),
+                "computed": sum(
+                    1 for e in items if e["status"] != "cached"
+                ),
+                "cached": by_status["cached"],
+                "ok": by_status["ok"],
+                "degraded": by_status["degraded"],
+                "errors": by_status["error"],
+            },
+            "workers": dict(self.workers),
+            "cache": cache_section,
+            "analyses": analyses,
+            "items": items,
+        }
+
+
+def validate_metrics(doc: object) -> List[str]:
+    """Structural check of a metrics document; returns problems found.
+
+    An empty list means the document conforms to
+    :data:`METRICS_SCHEMA`.  The check is deliberately strict about
+    presence and types but silent about extra keys, so the schema can
+    grow without breaking older validators.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, not an object"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}"
+        )
+    for section in ("run", "workers", "cache", "analyses"):
+        if not isinstance(doc.get(section), dict):
+            problems.append(f"missing or non-object section {section!r}")
+    if not isinstance(doc.get("items"), list):
+        problems.append("missing or non-list section 'items'")
+    if problems:
+        return problems
+
+    run = doc["run"]
+    for key in ("elapsed_seconds", "jobs", "tasks", "computed",
+                "cached", "ok", "degraded", "errors"):
+        if not isinstance(run.get(key), (int, float)):
+            problems.append(f"run.{key} missing or non-numeric")
+    if "deadline" not in run:
+        problems.append("run.deadline missing")
+    for key in ("pools", "crashes", "retries", "abandoned"):
+        if not isinstance(doc["workers"].get(key), int):
+            problems.append(f"workers.{key} missing or non-integer")
+    for name, agg in doc["analyses"].items():
+        if not isinstance(agg, dict):
+            problems.append(f"analyses.{name} is not an object")
+            continue
+        for key in ("tasks", "cached", "ok", "degraded", "errors",
+                    "seconds_total", "seconds_max"):
+            if not isinstance(agg.get(key), (int, float)):
+                problems.append(f"analyses.{name}.{key} missing or non-numeric")
+    for i, entry in enumerate(doc["items"]):
+        if not isinstance(entry, dict):
+            problems.append(f"items[{i}] is not an object")
+            continue
+        if entry.get("status") not in ITEM_STATUSES:
+            problems.append(f"items[{i}].status {entry.get('status')!r} invalid")
+        for key in ("program", "analysis"):
+            if not isinstance(entry.get(key), str):
+                problems.append(f"items[{i}].{key} missing or non-string")
+        if "seconds" not in entry:
+            problems.append(f"items[{i}].seconds missing")
+    return problems

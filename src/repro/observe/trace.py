@@ -1,0 +1,121 @@
+"""Span/counter/event trace emitters.
+
+Every trace record is one flat JSON-able dict with a ``type`` field:
+
+* ``{"type": "span", "name": ..., "seconds": ..., **attrs}`` — one
+  completed timed operation (an analysis, a pool round, a whole run);
+* ``{"type": "counter", "name": ..., "value": ..., **attrs}`` — one
+  monotonic count (states visited, cache hits, retries);
+* ``{"type": "event", "name": ..., **attrs}`` — one lifecycle moment
+  (a pool starting, a worker crashing, a task being retried).
+
+Emitters are deliberately dumb sinks: :class:`NullEmitter` drops
+everything (the default — tracing disabled costs one no-op call),
+:class:`JsonlEmitter` appends each record as a JSON line, and
+:class:`RecordingEmitter` keeps records in memory for tests and for
+the in-process aggregation in :mod:`repro.observe.metrics`.  Producers
+never format or buffer; whatever policy a deployment wants lives in
+the sink.
+
+Records written by :class:`JsonlEmitter` carry a ``ts`` wall-clock
+field; in-process records do not (timestamps would make unit tests and
+aggregated metrics nondeterministic for no benefit).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, IO, List, Optional
+
+
+class TraceEmitter:
+    """Base sink: subclasses override :meth:`emit`."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Consume one trace record (a flat JSON-able dict)."""
+        raise NotImplementedError
+
+    # -- convenience producers (shared by all sinks) --------------------
+
+    def span(self, name: str, seconds: float, **attrs: object) -> None:
+        """Emit a completed timed operation."""
+        self.emit({"type": "span", "name": name, "seconds": seconds, **attrs})
+
+    def counter(self, name: str, value: int, **attrs: object) -> None:
+        """Emit a monotonic count."""
+        self.emit({"type": "counter", "name": name, "value": value, **attrs})
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit a lifecycle moment."""
+        self.emit({"type": "event", "name": name, **attrs})
+
+    def close(self) -> None:
+        """Release any underlying resource (default: nothing to do)."""
+
+
+class NullEmitter(TraceEmitter):
+    """Drops every record; the zero-overhead default."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Discard ``record``."""
+
+
+#: The shared do-nothing sink (emitters are stateless when null).
+NULL_EMITTER = NullEmitter()
+
+
+class RecordingEmitter(TraceEmitter):
+    """Keeps every record in :attr:`records` (tests, aggregation)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Append ``record`` to :attr:`records`."""
+        self.records.append(record)
+
+    def named(self, name: str) -> List[Dict[str, object]]:
+        """Every recorded entry with the given ``name``."""
+        return [r for r in self.records if r.get("name") == name]
+
+
+class JsonlEmitter(TraceEmitter):
+    """Appends each record as one JSON line to ``path`` (or a handle).
+
+    Lines are written with ``sort_keys=True`` so the sink is diffable;
+    a wall-clock ``ts`` field is added to each record.  Writing is
+    best-effort after the file is open: the pipeline must never fail
+    because its trace sink did, so ``emit`` swallows ``OSError``.
+    """
+
+    def __init__(self, path: Optional[str] = None, handle: Optional[IO[str]] = None):
+        if (path is None) == (handle is None):
+            raise ValueError("JsonlEmitter needs exactly one of path or handle")
+        self._owns = handle is None
+        self._handle: Optional[IO[str]] = (
+            open(path, "w", encoding="utf-8") if handle is None else handle
+        )
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Write ``record`` (plus a ``ts`` field) as one JSON line."""
+        if self._handle is None:
+            return
+        stamped = {"ts": round(time.time(), 6), **record}
+        try:
+            self._handle.write(json.dumps(stamped, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Flush and close the sink (only if this emitter opened it)."""
+        if self._handle is None:
+            return
+        try:
+            self._handle.flush()
+            if self._owns:
+                self._handle.close()
+        except OSError:
+            pass
+        if self._owns:
+            self._handle = None

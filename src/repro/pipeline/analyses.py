@@ -46,6 +46,10 @@ DEFAULT_CONFIG: Dict[str, object] = {
     "max_depth": 2_000,
     #: Partial-order reduction for the ``explore`` analysis.
     "por": True,
+    #: Per-analysis wall-clock deadline in seconds (None = unlimited).
+    #: Hitting it returns a partial result flagged ``degraded`` — see
+    #: ``docs/observability.md`` for the degradation contract.
+    "deadline": None,
 }
 
 _SCHEMES = {
@@ -146,20 +150,27 @@ def _run_lint(subject: Subject, config: dict) -> dict:
 
 
 def _run_explore(subject: Subject, config: dict) -> dict:
+    from repro.observe.budget import Budget
     from repro.runtime.explorer import explore
 
-    result = explore(
-        subject,
+    deadline = config.get("deadline")
+    budget = Budget(
         max_states=int(config["max_states"]),
         max_depth=int(config["max_depth"]),
-        por=bool(config["por"]),
+        deadline=float(deadline) if deadline is not None else None,
     )
+    result = explore(subject, budget=budget, por=bool(config["por"]))
     return {
         "complete": result.complete,
+        "degraded": result.degraded,
+        "limit": result.limit,
+        "abandoned": result.abandoned,
         "deadlock_free": result.deadlock_free,
         "states": result.states_visited,
         "transitions": result.transitions,
         "por": result.por,
+        "reduced_states": result.reduced_states,
+        "peak_processes": result.peak_processes,
         "outcomes": [o.to_dict() for o in result.sorted_outcomes()],
     }
 
@@ -226,7 +237,7 @@ ANALYSES: Dict[str, AnalysisSpec] = {
         ),
         AnalysisSpec(
             "explore",
-            ("max_states", "max_depth", "por"),
+            ("max_states", "max_depth", "por", "deadline"),
             _run_explore,
             "exhaustive interleaving exploration",
         ),

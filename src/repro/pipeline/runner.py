@@ -10,17 +10,38 @@ document.  The execution strategy:
    addresses the cache;
 2. the parent resolves cache hits up front (a warm run never touches
    the pool at all, which is what makes re-runs near-free);
-3. the remaining tasks go to a ``multiprocessing`` pool when
-   ``jobs > 1`` (workers re-parse the source — parsing is a tiny
+3. the remaining tasks go to a ``concurrent.futures`` process pool
+   when ``jobs > 1`` (workers re-parse the source — parsing is a tiny
    fraction of any analysis this pipeline runs);
 4. fresh results are written back to the cache and merged, and the
    document is assembled in sorted program order.
 
+Fault isolation contract: no single program can take down a corpus
+run.  An analysis that *raises* becomes a structured per-item error
+record (exception type + truncated traceback) inside the worker; a
+worker that *dies* (``MemoryError`` escaping the interpreter, a
+signal, ``os._exit``) breaks the pool, which the parent rebuilds —
+surviving tasks are retried a bounded number of times and a task that
+repeatedly kills its worker is abandoned with a ``WorkerCrash`` error
+record.  An analysis that exhausts its :class:`repro.observe.Budget`
+(``deadline=...``) returns a partial result flagged ``degraded``;
+degraded results are reported but never cached.
+
+Observability: the run narrates itself through a
+:class:`repro.observe.MetricsAggregator` — per-task spans, pool
+lifecycle events, cache counters — which both feeds an optional
+JSON-lines trace sink and renders the metrics document available as
+:attr:`PipelineResult.metrics` (and ``repro batch --metrics``).
+
 Determinism contract: :meth:`PipelineResult.to_json` is byte-identical
 across ``jobs=1``, ``jobs=N`` and warm-cache runs of the same corpus
 and configuration.  Volatile facts (timings, hit/miss counts, worker
-count) live in :attr:`PipelineResult.stats`, which is deliberately
-*not* part of the document.
+count, metrics) live in :attr:`PipelineResult.stats` and
+:attr:`PipelineResult.metrics`, which are deliberately *not* part of
+the document.  Runs with a ``deadline`` are the one exception: where
+the clock truncates an analysis is inherently timing-dependent, so
+degraded cells may differ between runs (they are flagged, auditable,
+and excluded from the cache for exactly that reason).
 """
 
 from __future__ import annotations
@@ -28,6 +49,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -35,10 +57,23 @@ import repro
 from repro.lang.ast import Program, Stmt
 from repro.lang.parser import parse_program, parse_statement
 from repro.lang.pretty import pretty
+from repro.observe import MetricsAggregator, TraceEmitter
 from repro.pipeline.analyses import ANALYSES, DEFAULT_CONFIG
 from repro.pipeline.cache import CacheStats, ResultCache, cache_key
 
 Subject = Union[Program, Stmt]
+
+#: Total attempts a task gets when its worker keeps dying (the first
+#: run plus bounded retries for transient failures).
+MAX_TASK_ATTEMPTS = 3
+
+#: Characters of formatted traceback kept in an error record.
+_TRACEBACK_LIMIT = 1_000
+
+#: Test seam: when set (module-level, inherited by forked workers), it
+#: is called with each payload before the analysis runs — the only way
+#: to deterministically simulate a dying worker in the test suite.
+_INJECT_FAULT = None
 
 
 @dataclass(frozen=True)
@@ -56,21 +91,39 @@ def _subject_from_source(source: str, kind: str) -> Subject:
     return parse_program(source) if kind == "program" else parse_statement(source)
 
 
+def _error_record(exc: BaseException) -> dict:
+    """A structured, deterministic per-item error entry."""
+    tb = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return {
+        "error": f"{type(exc).__name__}: {exc}",
+        "error_type": type(exc).__name__,
+        "traceback": tb[-_TRACEBACK_LIMIT:],
+    }
+
+
 def _compute(payload: Tuple[str, str, str, dict]) -> dict:
     """Worker entry point: run one analysis on one program.
 
     Top-level (picklable) and exception-safe: analysis failures become
-    a deterministic ``{"error": ...}`` result instead of poisoning the
+    a deterministic structured error record instead of poisoning the
     pool — a batch over an arbitrary corpus must report per-program
-    failures, not die on the first odd program.
+    failures, not die on the first odd program.  Returns an envelope
+    ``{"result": ..., "seconds": ...}``; the wall time is measured in
+    the worker so it covers exactly the analysis, not queueing.
     """
     source, kind, analysis, config = payload
     spec = ANALYSES[analysis]
+    if _INJECT_FAULT is not None:
+        _INJECT_FAULT(payload)
+    started = time.perf_counter()
     try:
         subject = _subject_from_source(source, kind)
-        return spec.run(subject, config)
+        result = spec.run(subject, config)
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-        return {"error": f"{type(exc).__name__}: {exc}"}
+        result = _error_record(exc)
+    return {"result": result, "seconds": time.perf_counter() - started}
 
 
 class PipelineResult:
@@ -79,7 +132,9 @@ class PipelineResult:
     ``programs`` is a sorted list of
     ``{"name", "source", "analyses": {analysis: result}}`` entries;
     ``stats`` holds the volatile run facts (wall time, cache counters,
-    worker count) and is excluded from :meth:`to_dict`.
+    worker count) and ``metrics`` the full observability document
+    (schema in :mod:`repro.observe.metrics`) — both are excluded from
+    :meth:`to_dict`.
     """
 
     def __init__(
@@ -88,11 +143,13 @@ class PipelineResult:
         analyses: Tuple[str, ...],
         config: Dict[str, object],
         stats: Dict[str, object],
+        metrics: Optional[Dict[str, object]] = None,
     ):
         self.programs = programs
         self.analyses = analyses
         self.config = dict(config)
         self.stats = dict(stats)
+        self.metrics = dict(metrics or {})
 
     def to_dict(self) -> dict:
         """The deterministic result document (no timings, no counters)."""
@@ -124,6 +181,18 @@ class PipelineResult:
                     out.append((entry["name"], analysis, result["error"]))
         return out
 
+    def degraded(self) -> List[Tuple[str, str, str]]:
+        """Budget-truncated cells as ``(program, analysis, limit)``."""
+        out = []
+        for entry in self.programs:
+            for analysis in self.analyses:
+                result = entry["analyses"][analysis]
+                if result.get("degraded"):
+                    out.append(
+                        (entry["name"], analysis, str(result.get("limit")))
+                    )
+        return out
+
     def __repr__(self) -> str:
         return (
             f"<PipelineResult {len(self.programs)} programs x "
@@ -151,6 +220,25 @@ def _canonical_corpus(
     return out
 
 
+def _item_status(result: dict, cached: bool) -> str:
+    if "error" in result:
+        return "error"
+    if result.get("degraded"):
+        return "degraded"
+    return "cached" if cached else "ok"
+
+
+def _explore_counters(analysis: str, result: dict) -> Optional[Dict[str, int]]:
+    """The explorer counters carried into the metrics document."""
+    if analysis != "explore" or "error" in result:
+        return None
+    return {
+        key: int(result[key])
+        for key in ("states", "transitions", "reduced_states")
+        if isinstance(result.get(key), int)
+    }
+
+
 def run_pipeline(
     corpus: Sequence[Tuple[str, Subject]],
     analyses: Sequence[str] = ("cert", "lint"),
@@ -158,6 +246,8 @@ def run_pipeline(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     config: Optional[Dict[str, object]] = None,
+    deadline: Optional[float] = None,
+    trace: Optional[TraceEmitter] = None,
 ) -> PipelineResult:
     """Run ``analyses`` over every program in ``corpus``.
 
@@ -167,8 +257,17 @@ def run_pipeline(
     content-addressed cache.  ``config`` overlays
     :data:`repro.pipeline.analyses.DEFAULT_CONFIG`; unknown keys are
     rejected so typos cannot silently produce wrong cache keys.
+
+    ``deadline`` (seconds) is the per-analysis wall-clock budget: an
+    analysis that exhausts it returns a partial result flagged
+    ``degraded`` and the batch carries on — so one divergent or
+    state-explosive program costs at most the deadline, never the run.
+    ``trace`` (a :class:`repro.observe.TraceEmitter`) receives the
+    run's spans and lifecycle events; the aggregated metrics document
+    is always available as :attr:`PipelineResult.metrics`.
     """
     started = time.perf_counter()
+    observer = MetricsAggregator(sink=trace) if trace is not None else MetricsAggregator()
     for analysis in analyses:
         if analysis not in ANALYSES:
             raise ValueError(
@@ -185,6 +284,8 @@ def run_pipeline(
                 f"available: {sorted(DEFAULT_CONFIG)}"
             )
         merged[key] = value
+    if deadline is not None:
+        merged["deadline"] = float(deadline)
     # Normalize sequence-valued knobs so cache keys don't depend on
     # whether the caller passed a list or a tuple.
     merged["high"] = tuple(sorted(merged["high"]))
@@ -194,6 +295,7 @@ def run_pipeline(
     cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
 
     results: Dict[Tuple[int, str], dict] = {}
+    cached_cells: set = set()
     pending: List[_Task] = []
     keys: Dict[Tuple[int, str], str] = {}
     for index, (name, source, kind) in enumerate(entries):
@@ -211,14 +313,46 @@ def run_pipeline(
                 hit = cache.get(key)
                 if hit is not None:
                     results[(index, analysis)] = hit
+                    cached_cells.add((index, analysis))
                     continue
             pending.append(task)
 
-    computed = _execute(pending, merged, jobs)
-    for task, result in zip(pending, computed):
+    computed = _execute(pending, merged, jobs, observer)
+    seconds: Dict[Tuple[int, str], Optional[float]] = {}
+    for task, envelope in zip(pending, computed):
+        result = envelope["result"]
         results[(task.index, task.analysis)] = result
+        seconds[(task.index, task.analysis)] = envelope.get("seconds")
         if cache is not None:
-            cache.put(keys[(task.index, task.analysis)], task.analysis, result)
+            if result.get("degraded"):
+                # A budget-truncated partial result is a fact about
+                # this run's clock, not about the program — caching it
+                # would replay the truncation forever.
+                observer.cache_skip_degraded()
+            elif result.get("error_type") == "WorkerCrash":
+                pass  # environment trouble, not a property of the program
+            else:
+                cache.put(
+                    keys[(task.index, task.analysis)], task.analysis, result
+                )
+
+    for index, (name, source, kind) in enumerate(entries):
+        for analysis in analyses:
+            cell = (index, analysis)
+            result = results[cell]
+            cached = cell in cached_cells
+            status = _item_status(result, cached)
+            observer.item(
+                name,
+                analysis,
+                status,
+                seconds=seconds.get(cell),
+                error_type=result.get("error_type")
+                if status == "error"
+                else None,
+                limit=result.get("limit") if status == "degraded" else None,
+                explore=_explore_counters(analysis, result),
+            )
 
     programs = [
         {
@@ -228,27 +362,132 @@ def run_pipeline(
         }
         for index, (name, source, kind) in enumerate(entries)
     ]
+    elapsed = time.perf_counter() - started
+    cache_counters = (cache.stats if cache is not None else CacheStats()).to_dict()
+    metrics = observer.to_dict(
+        elapsed_seconds=elapsed,
+        jobs=jobs,
+        deadline=merged.get("deadline"),
+        cache=cache_counters,
+    )
+    observer.span("run", elapsed, jobs=jobs, tasks=len(entries) * len(analyses))
     stats = {
         "jobs": jobs,
         "tasks": len(entries) * len(analyses),
         "computed": len(pending),
-        "elapsed_seconds": time.perf_counter() - started,
-        "cache": (cache.stats if cache is not None else CacheStats()).to_dict(),
+        "elapsed_seconds": elapsed,
+        "cache": cache_counters,
         "cache_dir": cache_dir if cache is not None else None,
+        "workers": dict(observer.workers),
     }
-    return PipelineResult(programs, tuple(sorted(analyses)), merged, stats)
+    return PipelineResult(
+        programs, tuple(sorted(analyses)), merged, stats, metrics=metrics
+    )
 
 
-def _execute(pending: List[_Task], config: dict, jobs: int) -> List[dict]:
-    """Run the cache misses, in-process or across a worker pool."""
+def _pool_context():
+    """fork shares the already-imported package with workers; spawn
+    (the only option on some platforms) pays a per-worker import."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def _crash_record(attempts: int, detail: str) -> dict:
+    """The envelope for a task whose worker died on every attempt."""
+    return {
+        "result": {
+            "error": f"WorkerCrash: worker died {attempts} time(s) ({detail})",
+            "error_type": "WorkerCrash",
+            "traceback": "",
+        },
+        "seconds": None,
+    }
+
+
+def _execute(
+    pending: List[_Task],
+    config: dict,
+    jobs: int,
+    observer: MetricsAggregator,
+) -> List[dict]:
+    """Run the cache misses, in-process or across a crash-isolated pool.
+
+    Returns one envelope per task, in task order (so the assembled
+    document never depends on completion order).  When a worker dies,
+    the broken pool is rebuilt and the unfinished tasks are retried up
+    to :data:`MAX_TASK_ATTEMPTS` times; a task that keeps killing its
+    worker is abandoned with a structured ``WorkerCrash`` error.
+    """
     payloads = [(t.source, t.kind, t.analysis, config) for t in pending]
     if jobs <= 1 or len(payloads) <= 1:
         return [_compute(payload) for payload in payloads]
-    # fork shares the already-imported package with workers; spawn (the
-    # only option on some platforms) pays a per-worker import instead.
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes=min(jobs, len(payloads))) as pool:
-        return pool.map(_compute, payloads, chunksize=1)
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+    from concurrent.futures.process import BrokenProcessPool
+
+    ctx = _pool_context()
+    results: List[Optional[dict]] = [None] * len(payloads)
+    attempts = [0] * len(payloads)
+    remaining = list(range(len(payloads)))
+    while remaining:
+        workers = min(jobs, len(remaining))
+        observer.event("pool_start", workers=workers)
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        futures = {pool.submit(_compute, payloads[i]): i for i in remaining}
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except Exception as exc:  # e.g. an unpicklable result
+                    results[index] = {
+                        "result": _error_record(exc),
+                        "seconds": None,
+                    }
+            # A pool break fails every unfinished future at once; sweep
+            # up the tasks that did finish before the crash landed.
+            if broken:
+                for future, index in futures.items():
+                    if results[index] is not None or not future.done():
+                        continue
+                    try:
+                        results[index] = future.result()
+                    except Exception:
+                        pass
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if broken:
+            observer.event("pool_broken")
+        retry = []
+        for index in remaining:
+            if results[index] is not None:
+                continue
+            attempts[index] += 1
+            if attempts[index] >= MAX_TASK_ATTEMPTS:
+                results[index] = _crash_record(
+                    attempts[index],
+                    f"{pending[index].name}/{pending[index].analysis}",
+                )
+                observer.event(
+                    "task_abandoned",
+                    program=pending[index].name,
+                    analysis=pending[index].analysis,
+                    attempts=attempts[index],
+                )
+            else:
+                retry.append(index)
+                observer.event(
+                    "task_retry",
+                    program=pending[index].name,
+                    analysis=pending[index].analysis,
+                    attempt=attempts[index],
+                )
+        remaining = retry
+    assert all(envelope is not None for envelope in results)
+    return results

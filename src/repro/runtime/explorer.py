@@ -24,10 +24,12 @@ with thread-local work.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.errors import ExplorationLimitExceeded
+from repro.observe.budget import DEADLINE_CHECK_EVERY, Budget
 from repro.lang.ast import (
     Assign,
     If,
@@ -95,6 +97,11 @@ class ExplorationResult:
         complete: bool,
         schedules: Dict[Outcome, Tuple[Pid, ...]],
         por: bool = False,
+        abandoned: int = 0,
+        limit: Optional[str] = None,
+        elapsed_seconds: float = 0.0,
+        reduced_states: int = 0,
+        peak_processes: int = 0,
     ):
         self.outcomes = outcomes
         self.states_visited = states_visited
@@ -105,6 +112,25 @@ class ExplorationResult:
         self.schedules = dict(schedules)
         #: True when partial-order reduction was active for this run.
         self.por = por
+        #: Frontier entries discarded when a limit fired (the popped
+        #: state plus everything left on the stack) — the audit trail
+        #: behind ``complete=False``.
+        self.abandoned = abandoned
+        #: Which budget fired: ``"states"``, ``"depth"``, ``"deadline"``
+        #: or ``None`` when the exploration ran to exhaustion.
+        self.limit = limit
+        #: Wall-clock seconds the exploration took (volatile — never
+        #: part of a deterministic document).
+        self.elapsed_seconds = elapsed_seconds
+        #: States at which the POR ample-set reduction actually fired.
+        self.reduced_states = reduced_states
+        #: Largest live process count in any visited state.
+        self.peak_processes = peak_processes
+
+    @property
+    def degraded(self) -> bool:
+        """True when a budget truncated the exploration (partial result)."""
+        return not self.complete
 
     @property
     def completed_outcomes(self) -> FrozenSet[Outcome]:
@@ -207,6 +233,8 @@ def explore(
     max_depth: int = 2_000,
     on_limit: str = "mark",
     por: bool = False,
+    budget: Optional[Budget] = None,
+    emitter=None,
 ) -> ExplorationResult:
     """Explore every interleaving of ``subject``.
 
@@ -217,12 +245,30 @@ def explore(
     evidence of possible divergence).  ``on_limit`` is ``"mark"``
     (record incompleteness in the result) or ``"raise"``.
 
+    ``budget`` (a :class:`repro.observe.Budget`) unifies the limits:
+    its non-``None`` fields override ``max_states``/``max_depth``, and
+    its ``deadline`` bounds wall-clock time.  Hitting any limit under
+    ``on_limit="mark"`` returns the partial result *flagged degraded*
+    (``complete=False``, ``limit`` naming the budget that fired,
+    ``abandoned`` counting the discarded frontier) — never an
+    exception.  ``emitter`` (a :class:`repro.observe.TraceEmitter`)
+    receives one ``explore`` span with the run's counters.
+
     ``por=True`` enables the independence-based partial-order
     reduction (see :func:`_ample`): same outcome set, usually fewer
     states.  A machine with a monitor attached is never reduced —
     monitor snapshots can distinguish interleavings that the store
     cannot, so commuting steps would not be outcome-preserving.
     """
+    if budget is not None:
+        if budget.max_states is not None:
+            max_states = budget.max_states
+        if budget.max_depth is not None:
+            max_depth = budget.max_depth
+    clock = (budget or Budget()).start()
+    has_deadline = budget is not None and budget.deadline is not None
+    started = time.perf_counter()
+
     root = Machine(subject, store=store, monitor=monitor)
     reduce = por and monitor is None
     footprint_cache: Dict[int, FrozenSet[str]] = {}
@@ -231,7 +277,11 @@ def explore(
     schedules: Dict[Outcome, Tuple[Pid, ...]] = {}
     states_visited = 0
     transitions = 0
+    reduced_states = 0
+    peak_processes = 0
     complete = True
+    limit: Optional[str] = None
+    abandoned = 0
 
     def record(outcome: Outcome, schedule: Tuple[Pid, ...]) -> None:
         if outcome not in outcomes:
@@ -244,15 +294,34 @@ def explore(
         snap = machine.snapshot()
         if snap in visited:
             continue
-        visited.add(snap)
-        states_visited += 1
-        if states_visited > max_states:
+        if states_visited >= max_states:
+            # The budget is spent *before* this new state is counted,
+            # so the result reports exactly ``max_states`` states.
             if on_limit == "raise":
                 raise ExplorationLimitExceeded(
                     f"more than {max_states} distinct states"
                 )
             complete = False
+            limit = "states"
+            abandoned = len(stack) + 1
             break
+        if (
+            has_deadline
+            and states_visited % DEADLINE_CHECK_EVERY == 0
+            and clock.expired()
+        ):
+            if on_limit == "raise":
+                raise ExplorationLimitExceeded(
+                    f"deadline of {budget.deadline}s exceeded"
+                )
+            complete = False
+            limit = "deadline"
+            abandoned = len(stack) + 1
+            break
+        visited.add(snap)
+        states_visited += 1
+        if len(machine.processes) > peak_processes:
+            peak_processes = len(machine.processes)
         if machine.done:
             record(Outcome(COMPLETED, tuple(sorted(machine.store.items()))), schedule)
             continue
@@ -264,17 +333,42 @@ def explore(
                 raise ExplorationLimitExceeded(f"schedule longer than {max_depth}")
             record(Outcome(CUTOFF, tuple(sorted(machine.store.items()))), schedule)
             complete = False
+            if limit is None:
+                limit = "depth"
             continue
         enabled = machine.enabled()
         if reduce and len(enabled) > 1:
-            enabled = _ample(machine, enabled, footprint_cache)
+            ample = _ample(machine, enabled, footprint_cache)
+            if len(ample) < len(enabled):
+                reduced_states += 1
+            enabled = ample
         for i, pid in enumerate(enabled):
             # The last branch may reuse the machine instead of copying.
             branch = machine if i == len(enabled) - 1 else machine.copy()
             branch.step(pid)
             transitions += 1
             stack.append((branch, schedule + (pid,)))
-    return ExplorationResult(
+    elapsed = time.perf_counter() - started
+    result = ExplorationResult(
         frozenset(outcomes), states_visited, transitions, complete, schedules,
         por=reduce,
+        abandoned=abandoned,
+        limit=limit,
+        elapsed_seconds=elapsed,
+        reduced_states=reduced_states,
+        peak_processes=peak_processes,
     )
+    if emitter is not None:
+        emitter.span(
+            "explore",
+            elapsed,
+            states=states_visited,
+            transitions=transitions,
+            outcomes=len(outcomes),
+            complete=complete,
+            limit=limit,
+            abandoned=abandoned,
+            por=reduce,
+            reduced_states=reduced_states,
+        )
+    return result

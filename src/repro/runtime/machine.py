@@ -135,6 +135,10 @@ class Machine:
         self.monitor = monitor
         self.processes: Dict[Pid, Process] = {}
         self.steps_taken = 0
+        #: Largest live process count this run (or lineage) has seen —
+        #: the machine-level half of the observability layer's
+        #: concurrency metrics (see :mod:`repro.observe`).
+        self.peak_processes = 1
         root = Process((), (body,))
         self.processes[root.pid] = root
         self._normalize(root)
@@ -285,6 +289,8 @@ class Machine:
             children.append(child.pid)
         if self.monitor is not None:
             self.monitor.on_spawn(proc.pid, children)
+        if len(self.processes) > self.peak_processes:
+            self.peak_processes = len(self.processes)
         for pid in children:
             self._normalize(self.processes[pid])
 
@@ -309,6 +315,18 @@ class Machine:
             parent.status = "ready"
             self._normalize(parent)
 
+    def stats(self) -> Dict[str, int]:
+        """Volatile run counters (steps, live and peak process counts).
+
+        The shape feeds the observability layer's trace records; it is
+        never part of a deterministic result document.
+        """
+        return {
+            "steps_taken": self.steps_taken,
+            "live_processes": len(self.processes),
+            "peak_processes": self.peak_processes,
+        }
+
     # -- snapshots and copies ---------------------------------------------------
 
     def snapshot(self) -> Tuple:
@@ -328,4 +346,5 @@ class Machine:
         clone.monitor = self.monitor.copy() if self.monitor is not None else None
         clone.processes = {pid: proc.clone() for pid, proc in self.processes.items()}
         clone.steps_taken = self.steps_taken
+        clone.peak_processes = self.peak_processes
         return clone

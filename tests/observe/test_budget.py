@@ -1,0 +1,62 @@
+"""The Budget/BudgetClock resource-limit primitives."""
+
+import time
+
+import pytest
+
+from repro.observe import Budget
+from repro.observe.budget import DEADLINE_CHECK_EVERY
+
+
+def test_default_budget_is_unlimited():
+    budget = Budget()
+    assert budget.max_states is None
+    assert budget.max_depth is None
+    assert budget.deadline is None
+    assert str(budget) == "Budget(unlimited)"
+
+
+def test_budget_is_frozen_and_hashable():
+    budget = Budget(max_states=10)
+    with pytest.raises(Exception):
+        budget.max_states = 20
+    assert budget == Budget(max_states=10)
+    assert hash(budget) == hash(Budget(max_states=10))
+
+
+def test_budget_to_dict_and_str():
+    budget = Budget(max_states=100, max_depth=5, deadline=1.5)
+    assert budget.to_dict() == {
+        "max_states": 100,
+        "max_depth": 5,
+        "deadline": 1.5,
+    }
+    assert str(budget) == "Budget(states<=100, depth<=5, deadline=1.5s)"
+
+
+def test_clock_without_deadline_never_expires():
+    clock = Budget(max_states=5).start()
+    assert clock.remaining() is None
+    assert not clock.expired()
+    assert clock.elapsed() >= 0.0
+
+
+def test_clock_with_deadline_expires():
+    clock = Budget(deadline=0.01).start()
+    assert not clock.expired() or clock.remaining() <= 0
+    time.sleep(0.02)
+    assert clock.expired()
+    assert clock.remaining() <= 0
+
+
+def test_clock_repr_mentions_the_budget():
+    clock = Budget(deadline=9.0).start()
+    assert "deadline=9.0s" in repr(clock)
+
+
+def test_deadline_poll_interval_is_sane():
+    # The explorer checks the clock every DEADLINE_CHECK_EVERY states;
+    # the constant must stay a small positive int or deadlines would
+    # either cost a syscall per state or never fire.
+    assert isinstance(DEADLINE_CHECK_EVERY, int)
+    assert 1 <= DEADLINE_CHECK_EVERY <= 4096

@@ -1,0 +1,97 @@
+"""The MetricsAggregator and the metrics-document validator."""
+
+import pytest
+
+from repro.observe import (
+    METRICS_SCHEMA,
+    MetricsAggregator,
+    RecordingEmitter,
+    validate_metrics,
+)
+
+
+def sample_aggregator():
+    agg = MetricsAggregator()
+    agg.event("pool_start", workers=2)
+    agg.event("pool_broken")
+    agg.event("task_retry", program="p", analysis="cert", attempt=1)
+    agg.event("task_abandoned", program="p", analysis="cert", attempts=3)
+    agg.item("a", "cert", "ok", seconds=0.25)
+    agg.item("a", "explore", "degraded", seconds=0.5, limit="deadline",
+             explore={"states": 100, "transitions": 99, "reduced_states": 4})
+    agg.item("b", "cert", "cached", seconds=None)
+    agg.item("b", "explore", "error", seconds=0.1, error_type="ZeroDivisionError")
+    agg.cache_skip_degraded()
+    return agg
+
+
+def test_worker_events_are_tallied():
+    agg = sample_aggregator()
+    assert agg.workers == {
+        "pools": 1, "crashes": 1, "retries": 1, "abandoned": 1
+    }
+
+
+def test_records_are_forwarded_to_the_sink():
+    sink = RecordingEmitter()
+    agg = MetricsAggregator(sink=sink)
+    agg.event("pool_start", workers=1)
+    agg.item("a", "cert", "ok", seconds=0.1)
+    agg.cache_skip_degraded()
+    names = [r["name"] for r in sink.records]
+    assert names == ["pool_start", "task", "cache_skip_degraded"]
+
+
+def test_unknown_item_status_is_rejected():
+    with pytest.raises(ValueError, match="unknown item status"):
+        MetricsAggregator().item("a", "cert", "exploded")
+
+
+def test_document_shape_and_totals():
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.5, jobs=2, deadline=0.5,
+        cache={"hits": 1, "misses": 3, "writes": 2, "corrupt": 0},
+    )
+    assert doc["schema"] == METRICS_SCHEMA
+    run = doc["run"]
+    assert run["tasks"] == 4
+    assert run["ok"] == 1 and run["cached"] == 1
+    assert run["degraded"] == 1 and run["errors"] == 1
+    assert run["computed"] == 3
+    assert run["deadline"] == 0.5
+    assert doc["cache"]["skipped_degraded"] == 1
+    explore = doc["analyses"]["explore"]
+    assert explore["tasks"] == 2
+    assert explore["degraded"] == 1 and explore["errors"] == 1
+    assert explore["states"] == 100
+    assert explore["reduced_states"] == 4
+    # items are sorted by (program, analysis): deterministic document.
+    assert [(e["program"], e["analysis"]) for e in doc["items"]] == [
+        ("a", "cert"), ("a", "explore"), ("b", "cert"), ("b", "explore")
+    ]
+
+
+def test_document_validates_clean():
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None,
+        cache={"hits": 0, "misses": 0, "writes": 0, "corrupt": 0},
+    )
+    assert validate_metrics(doc) == []
+
+
+def test_validator_catches_structural_damage():
+    assert validate_metrics("nope")  # not even an object
+    assert validate_metrics({}) != []
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None
+    )
+    doc["schema"] = "repro-metrics/999"
+    assert any("schema" in p for p in validate_metrics(doc))
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None
+    )
+    del doc["run"]["jobs"]
+    doc["items"][0]["status"] = "weird"
+    problems = validate_metrics(doc)
+    assert any("run.jobs" in p for p in problems)
+    assert any("status" in p for p in problems)

@@ -1,0 +1,84 @@
+"""The span/counter/event trace emitters."""
+
+import io
+import json
+
+import pytest
+
+from repro.observe import (
+    JsonlEmitter,
+    NULL_EMITTER,
+    NullEmitter,
+    RecordingEmitter,
+    TraceEmitter,
+)
+
+
+def test_base_emitter_requires_emit():
+    with pytest.raises(NotImplementedError):
+        TraceEmitter().emit({"type": "event", "name": "x"})
+
+
+def test_null_emitter_swallows_everything():
+    NULL_EMITTER.span("a", 0.1)
+    NULL_EMITTER.counter("b", 2)
+    NULL_EMITTER.event("c", detail="d")
+    NULL_EMITTER.close()
+    assert isinstance(NULL_EMITTER, NullEmitter)
+
+
+def test_recording_emitter_keeps_records_in_order():
+    emitter = RecordingEmitter()
+    emitter.span("task", 0.5, program="p")
+    emitter.counter("states", 7)
+    emitter.event("pool_start", workers=2)
+    assert [r["type"] for r in emitter.records] == ["span", "counter", "event"]
+    assert emitter.records[0] == {
+        "type": "span",
+        "name": "task",
+        "seconds": 0.5,
+        "program": "p",
+    }
+    assert emitter.named("states") == [
+        {"type": "counter", "name": "states", "value": 7}
+    ]
+
+
+def test_jsonl_emitter_writes_parseable_stamped_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    emitter = JsonlEmitter(path=str(path))
+    emitter.span("explore", 0.25, states=10)
+    emitter.event("pool_broken")
+    emitter.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0]["name"] == "explore"
+    assert records[0]["states"] == 10
+    for record in records:
+        assert isinstance(record["ts"], float)
+
+
+def test_jsonl_emitter_accepts_a_handle_it_does_not_own():
+    handle = io.StringIO()
+    emitter = JsonlEmitter(handle=handle)
+    emitter.counter("hits", 3)
+    emitter.close()  # must flush but not close the caller's handle
+    assert json.loads(handle.getvalue())["value"] == 3
+
+
+def test_jsonl_emitter_needs_exactly_one_target(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlEmitter()
+    with pytest.raises(ValueError):
+        JsonlEmitter(path=str(tmp_path / "t"), handle=io.StringIO())
+
+
+def test_jsonl_emitter_survives_a_dead_sink(tmp_path):
+    class Broken(io.StringIO):
+        def write(self, *_):
+            raise OSError("disk full")
+
+    emitter = JsonlEmitter(handle=Broken())
+    emitter.event("x")  # must not raise: tracing never fails the run
+    emitter.close()

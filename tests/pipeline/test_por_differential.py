@@ -83,17 +83,26 @@ def test_por_matches_naive_on_random_runtime_safe(seed):
     assert reduced.states_visited <= naive.states_visited, seed
 
 
-@pytest.mark.parametrize("seed", range(20))
+# Seeds 8207 and 8210 generate genuinely divergent programs (linear
+# infinite chains, so every budget truncates them and the outcome
+# comparison could never be exhaustive); 8220 and 8221 are verified
+# terminating replacements from the same static profile.
+STATIC_SEEDS = tuple(
+    seed for seed in range(8200, 8220) if seed not in (8207, 8210)
+) + (8220, 8221)
+
+
+@pytest.mark.parametrize("seed", STATIC_SEEDS)
 def test_por_matches_naive_on_random_static(seed):
     """The static profile (unbounded loops, unmatched semaphores).
 
-    These programs can diverge or deadlock arbitrarily; the generator
-    keeps them small enough that the memoized exploration still
-    completes, making the outcome comparison exhaustive (the assert
-    guards that assumption).
+    These programs can deadlock arbitrarily; the seed list above pins
+    20 instances whose memoized exploration completes, making the
+    outcome comparison exhaustive (the assert guards that assumption —
+    no skips: a budget hit here is a regression, not an excuse).
     """
     program = random_program(
-        seed=8200 + seed,
+        seed=seed,
         size=10,
         runtime_safe=False,
         p_cobegin=0.35,
@@ -102,8 +111,7 @@ def test_por_matches_naive_on_random_static(seed):
         max_loop_iters=2,
     )
     naive, reduced = both(program, max_states=MAX_STATES, max_depth=200)
-    if not (naive.complete and reduced.complete):
-        pytest.skip("exploration budget hit; comparison would not be exhaustive")
+    assert naive.complete and reduced.complete, seed
     assert outcome_set(naive) == outcome_set(reduced), seed
     assert reduced.states_visited <= naive.states_visited, seed
 

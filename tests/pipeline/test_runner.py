@@ -118,6 +118,120 @@ def test_cli_batch_listings(capsys):
     assert "cert:" in out and "explore:" in out
 
 
+def test_error_records_are_structured():
+    """Satellite of the hardening PR: a failing analysis yields a
+    structured record (type + truncated traceback), not a bare string."""
+    from repro.lang.parser import parse_statement
+
+    corpus = [("bad", parse_statement("x := 1 / 0"))]
+    result = run_pipeline(corpus, analyses=("explore",), use_cache=False)
+    data = result.program("bad")["analyses"]["explore"]
+    assert data["error_type"] == "RuntimeFault"
+    assert data["error"].startswith("RuntimeFault:")
+    assert "Traceback" in data["traceback"] or data["traceback"]
+    assert len(data["traceback"]) <= 1_000
+
+
+# -- crash isolation ---------------------------------------------------------
+#
+# ``runner._INJECT_FAULT`` is the deterministic stand-in for a worker
+# dying mid-task (MemoryError escaping the interpreter, the OOM killer,
+# a segfault).  Workers are forked, so a monkeypatched module global is
+# inherited; ``os._exit`` skips every Python-level cleanup exactly like
+# a real kill.  These tests require jobs > 1: the injected fault must
+# never run in the pytest process itself.
+
+
+def _poison_corpus():
+    from repro.lang.parser import parse_statement
+
+    return [
+        ("healthy-a", parse_statement("begin l := 1; l2 := l end")),
+        ("kaboom", parse_statement("kaboom := 1")),
+        ("healthy-b", parse_statement("begin m := 2; m2 := m end")),
+    ]
+
+
+def test_worker_crash_is_isolated_and_abandoned(monkeypatch):
+    import os
+
+    from repro.pipeline import runner
+
+    def die_on_poison(payload):
+        if "kaboom" in payload[0]:
+            os._exit(13)
+
+    monkeypatch.setattr(runner, "_INJECT_FAULT", die_on_poison)
+    result = run_pipeline(
+        _poison_corpus(), analyses=("cert",), jobs=2, use_cache=False
+    )
+    data = result.program("kaboom")["analyses"]["cert"]
+    assert data["error_type"] == "WorkerCrash"
+    assert f"died {runner.MAX_TASK_ATTEMPTS} time(s)" in data["error"]
+    # the poison program must not take the healthy ones down with it
+    assert result.program("healthy-a")["analyses"]["cert"]["certified"] is True
+    assert result.program("healthy-b")["analyses"]["cert"]["certified"] is True
+    workers = result.metrics["workers"]
+    assert workers["crashes"] >= 1
+    assert workers["abandoned"] == 1
+    assert ("kaboom", "cert") in {(n, a) for n, a, _ in result.errors()}
+
+
+def test_transient_worker_crash_is_retried_to_success(tmp_path, monkeypatch):
+    import os
+
+    from repro.pipeline import runner
+
+    tombstone = tmp_path / "crashed-once"
+
+    def die_once(payload):
+        if "kaboom" in payload[0] and not tombstone.exists():
+            tombstone.write_text("")
+            os._exit(13)
+
+    monkeypatch.setattr(runner, "_INJECT_FAULT", die_once)
+    result = run_pipeline(
+        _poison_corpus(), analyses=("cert",), jobs=2, use_cache=False
+    )
+    assert result.errors() == []  # the retry recovered the task
+    assert result.program("kaboom")["analyses"]["cert"]["certified"] is True
+    workers = result.metrics["workers"]
+    assert workers["crashes"] >= 1
+    assert workers["retries"] >= 1
+    assert workers["abandoned"] == 0
+    assert workers["pools"] >= 2  # the broken pool was rebuilt
+
+
+def test_worker_crash_records_are_not_cached(monkeypatch):
+    import os
+
+    from repro.pipeline import runner
+
+    def die_on_poison(payload):
+        if "kaboom" in payload[0]:
+            os._exit(13)
+
+    monkeypatch.setattr(runner, "_INJECT_FAULT", die_on_poison)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        first = run_pipeline(
+            _poison_corpus(), analyses=("cert",), jobs=2, cache_dir=cache_dir
+        )
+        assert first.program("kaboom")["analyses"]["cert"]["error_type"] == (
+            "WorkerCrash"
+        )
+        monkeypatch.setattr(runner, "_INJECT_FAULT", None)
+        second = run_pipeline(
+            _poison_corpus(), analyses=("cert",), jobs=2, cache_dir=cache_dir
+        )
+        # environment trouble is not a property of the program: with the
+        # fault gone the task recomputes cleanly instead of replaying
+        # the crash record from the cache.
+        assert second.errors() == []
+        assert second.program("kaboom")["analyses"]["cert"]["certified"] is True
+
+
 def test_cli_batch_high_and_scheme_knobs(tmp_path, capsys):
     program = tmp_path / "p.rl"
     program.write_text("var a, b : integer; b := a")

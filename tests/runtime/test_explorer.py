@@ -68,6 +68,61 @@ def test_state_limit():
         explore(s, max_states=100, on_limit="raise")
 
 
+def test_state_limit_accounting_is_exact():
+    """The budget off-by-one fix: a truncated run reports *exactly*
+    ``max_states`` visited states (it used to count the rejected state
+    too), names the limit that fired, and counts the dropped frontier."""
+    s = parse_statement(
+        "cobegin while a < 50 do a := a + 1 || while b < 50 do b := b + 1 coend"
+    )
+    res = explore(s, max_states=100)
+    assert res.states_visited == 100
+    assert res.degraded and res.limit == "states"
+    assert res.abandoned > 0
+
+
+def test_complete_run_has_no_limit_and_no_abandoned_frontier():
+    res = explore(parse_statement("cobegin x := 1 || y := 1 coend"))
+    assert res.complete and not res.degraded
+    assert res.limit is None
+    assert res.abandoned == 0
+
+
+def test_depth_cutoff_names_its_limit():
+    res = explore(parse_statement("while true do x := x + 1"), max_depth=10)
+    assert res.degraded
+    assert res.limit == "depth"
+
+
+def test_budget_object_overrides_keyword_limits():
+    from repro.observe import Budget
+
+    s = parse_statement(
+        "cobegin while a < 50 do a := a + 1 || while b < 50 do b := b + 1 coend"
+    )
+    res = explore(s, max_states=100_000, budget=Budget(max_states=50))
+    assert res.states_visited == 50
+    assert res.limit == "states"
+
+
+def test_explore_reports_peak_processes():
+    res = explore(parse_statement(
+        "cobegin x := 1 || y := 1 || z := 1 coend"
+    ))
+    assert res.peak_processes == 4  # root + three branches
+
+
+def test_explore_emits_a_span():
+    from repro.observe import RecordingEmitter
+
+    emitter = RecordingEmitter()
+    res = explore(parse_statement("x := 1"), emitter=emitter)
+    (span,) = emitter.named("explore")
+    assert span["type"] == "span"
+    assert span["states"] == res.states_visited
+    assert span["complete"] is True
+
+
 def test_memoization_collapses_identical_states():
     # Two independent single-step branches: the diamond has 4 states,
     # not 2 paths x 3 states.

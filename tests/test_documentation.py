@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.logic",
     "repro.runtime",
     "repro.analysis",
+    "repro.observe",
     "repro.workloads",
     "repro.staticlint",
     "repro.pipeline",
