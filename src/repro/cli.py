@@ -12,6 +12,8 @@ Subcommands::
     lint     PROGRAM... [--json] [--select RPL1] [--ignore RPL402]
     batch    [PROGRAM...] [--corpus litmus] --analyses cert,lint
              [--jobs 4] [--cache-dir DIR] [--no-cache] [--json]
+    serve    [--host 127.0.0.1] [--port 8765] [--jobs 2]
+             [--lru-size N] [--deadline SECONDS]
 
 ``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
 scheme's class names (``low``/``high`` for the default two-level
@@ -462,6 +464,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="stream span/counter/event trace records as JSON lines",
     )
+
+    sub = subs.add_parser(
+        "serve",
+        help="long-running JSON-over-HTTP analysis service "
+        "(POST /analyze, GET /healthz, GET /metrics)",
+    )
+    sub.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    sub.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="port to bind; 0 picks a free port, announced on stdout "
+        "(default: 8765)",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="persistent worker processes, pre-forked at startup "
+        "(default: 2; 1 = analyse in-process)",
+    )
+    sub.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="on-disk result cache root (default: .repro-cache)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable both cache tiers (recompute every request)",
+    )
+    sub.add_argument(
+        "--lru-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="in-memory LRU tier capacity in entries "
+        "(default: 4096; 0 disables the memory tier)",
+    )
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock budget for requests that "
+        "set none; exhausting it degrades the result, never errors",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
     return parser
 
 
@@ -713,11 +771,28 @@ def _cmd_batch(args) -> int:
     return 1 if errors else 0
 
 
+def _cmd_serve(args) -> int:
+    """The ``serve`` subcommand: the resident analysis service."""
+    from repro.service import AnalysisService, serve
+
+    service = AnalysisService(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        lru_capacity=0 if args.no_cache else args.lru_size,
+        default_deadline=args.deadline,
+    )
+    return serve(
+        service, host=args.host, port=args.port, quiet=args.quiet
+    )
+
+
 def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     program = _load_program(args.program)
 

@@ -25,7 +25,11 @@ behind ``repro batch --metrics out.json``:
 ``items``
     one record per (program, analysis) cell: status (``ok`` /
     ``cached`` / ``degraded`` / ``error``), seconds (``None`` for
-    cache hits), and the limit or error type where applicable.
+    cache hits), and the limit or error type where applicable;
+``service`` (optional)
+    present in documents served by a resident ``repro serve`` process:
+    request totals, the in-flight gauge, the coalesced-request count,
+    and the in-memory LRU tier's counters (see ``docs/service.md``).
 
 :func:`validate_metrics` is the schema check the test suite and the CI
 degraded-mode smoke job run against emitted documents.
@@ -33,6 +37,7 @@ degraded-mode smoke job run against emitted documents.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.observe.trace import NULL_EMITTER, TraceEmitter
@@ -59,20 +64,37 @@ class MetricsAggregator(TraceEmitter):
     once and both the trace file and the metrics document see the run.
     """
 
-    def __init__(self, sink: TraceEmitter = NULL_EMITTER):
+    def __init__(
+        self,
+        sink: TraceEmitter = NULL_EMITTER,
+        max_items: Optional[int] = None,
+    ):
         self.sink = sink
+        #: The retained per-cell records.  When ``max_items`` bounds the
+        #: list (a long-running service must not grow without bound),
+        #: only the newest records are kept — the ``run`` and
+        #: ``analyses`` aggregates stay exact and cumulative because
+        #: they are maintained incrementally, never recomputed from
+        #: ``items``.
         self.items: List[Dict[str, object]] = []
+        self.max_items = max_items
         self.workers: Dict[str, int] = {
             name: 0 for name in _WORKER_EVENTS.values()
         }
         self.skipped_degraded = 0
+        self._by_status: Dict[str, int] = {s: 0 for s in ITEM_STATUSES}
+        self._analyses: Dict[str, Dict[str, object]] = {}
+        #: One aggregator may be shared by every thread of a resident
+        #: service; counter read-modify-writes need the lock.
+        self._lock = threading.Lock()
 
     def emit(self, record: Dict[str, object]) -> None:
         """Tally worker lifecycle events; forward everything to the sink."""
         if record.get("type") == "event":
             bucket = _WORKER_EVENTS.get(str(record.get("name")))
             if bucket is not None:
-                self.workers[bucket] += 1
+                with self._lock:
+                    self.workers[bucket] += 1
         self.sink.emit(record)
 
     def item(
@@ -105,37 +127,13 @@ class MetricsAggregator(TraceEmitter):
             entry["limit"] = limit
         if explore is not None:
             entry["explore"] = dict(explore)
-        self.items.append(entry)
-        self.sink.span(
-            "task",
-            seconds if seconds is not None else 0.0,
-            program=program,
-            analysis=analysis,
-            status=status,
-        )
-
-    def cache_skip_degraded(self) -> None:
-        """Note one degraded result deliberately kept out of the cache."""
-        self.skipped_degraded += 1
-        self.sink.event("cache_skip_degraded")
-
-    def to_dict(
-        self,
-        elapsed_seconds: float,
-        jobs: int,
-        deadline: Optional[float],
-        cache: Optional[Dict[str, int]] = None,
-    ) -> Dict[str, object]:
-        """Render the metrics document (see the module docstring)."""
-        items = sorted(
-            self.items, key=lambda e: (e["program"], e["analysis"])
-        )
-        by_status = {status: 0 for status in ITEM_STATUSES}
-        analyses: Dict[str, Dict[str, object]] = {}
-        for entry in items:
-            by_status[str(entry["status"])] += 1
-            agg = analyses.setdefault(
-                str(entry["analysis"]),
+        with self._lock:
+            self.items.append(entry)
+            if self.max_items is not None and len(self.items) > self.max_items:
+                del self.items[: len(self.items) - self.max_items]
+            self._by_status[status] += 1
+            agg = self._analyses.setdefault(
+                analysis,
                 {
                     "tasks": 0,
                     "cached": 0,
@@ -147,40 +145,77 @@ class MetricsAggregator(TraceEmitter):
                 },
             )
             agg["tasks"] += 1
-            key = {"error": "errors"}.get(
-                str(entry["status"]), str(entry["status"])
-            )
-            agg[key] += 1
-            seconds = entry.get("seconds")
+            agg[{"error": "errors"}.get(status, status)] += 1
             if isinstance(seconds, (int, float)):
                 agg["seconds_total"] += seconds
                 agg["seconds_max"] = max(agg["seconds_max"], seconds)
-            explore = entry.get("explore")
-            if isinstance(explore, dict):
+            if explore is not None:
                 for counter, value in explore.items():
                     agg[counter] = agg.get(counter, 0) + int(value)
+        self.sink.span(
+            "task",
+            seconds if seconds is not None else 0.0,
+            program=program,
+            analysis=analysis,
+            status=status,
+        )
+
+    def cache_skip_degraded(self) -> None:
+        """Note one degraded result deliberately kept out of the cache."""
+        with self._lock:
+            self.skipped_degraded += 1
+        self.sink.event("cache_skip_degraded")
+
+    def to_dict(
+        self,
+        elapsed_seconds: float,
+        jobs: int,
+        deadline: Optional[float],
+        cache: Optional[Dict[str, int]] = None,
+        service: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Render the metrics document (see the module docstring).
+
+        The ``run`` and ``analyses`` aggregates are cumulative over the
+        aggregator's whole lifetime even when ``max_items`` has trimmed
+        older per-cell records out of ``items``.  ``service`` (counters
+        from a resident ``repro serve`` process — requests, in-flight,
+        LRU hits/misses, coalesced) is included verbatim when given.
+        """
+        with self._lock:
+            items = sorted(
+                self.items, key=lambda e: (e["program"], e["analysis"])
+            )
+            by_status = dict(self._by_status)
+            analyses = {
+                name: dict(agg) for name, agg in self._analyses.items()
+            }
+            workers = dict(self.workers)
+            skipped_degraded = self.skipped_degraded
+        tasks = sum(by_status.values())
         cache_section = dict(cache or {})
-        cache_section["skipped_degraded"] = self.skipped_degraded
-        return {
+        cache_section["skipped_degraded"] = skipped_degraded
+        document: Dict[str, object] = {
             "schema": METRICS_SCHEMA,
             "run": {
                 "elapsed_seconds": elapsed_seconds,
                 "jobs": jobs,
                 "deadline": deadline,
-                "tasks": len(items),
-                "computed": sum(
-                    1 for e in items if e["status"] != "cached"
-                ),
+                "tasks": tasks,
+                "computed": tasks - by_status["cached"],
                 "cached": by_status["cached"],
                 "ok": by_status["ok"],
                 "degraded": by_status["degraded"],
                 "errors": by_status["error"],
             },
-            "workers": dict(self.workers),
+            "workers": workers,
             "cache": cache_section,
             "analyses": analyses,
             "items": items,
         }
+        if service is not None:
+            document["service"] = dict(service)
+        return document
 
 
 def validate_metrics(doc: object) -> List[str]:
@@ -224,6 +259,15 @@ def validate_metrics(doc: object) -> List[str]:
                     "seconds_total", "seconds_max"):
             if not isinstance(agg.get(key), (int, float)):
                 problems.append(f"analyses.{name}.{key} missing or non-numeric")
+    if "service" in doc:
+        service = doc["service"]
+        if not isinstance(service, dict):
+            problems.append("section 'service' is not an object")
+        else:
+            for key in ("requests", "in_flight", "coalesced",
+                        "lru_hits", "lru_misses"):
+                if not isinstance(service.get(key), int):
+                    problems.append(f"service.{key} missing or non-integer")
     for i, entry in enumerate(doc["items"]):
         if not isinstance(entry, dict):
             problems.append(f"items[{i}] is not an object")

@@ -25,16 +25,25 @@ from repro.pipeline.analyses import (
     analysis_names,
     scheme_names,
 )
-from repro.pipeline.cache import CacheStats, ResultCache, cache_key
-from repro.pipeline.runner import PipelineResult, run_pipeline
+from repro.pipeline.cache import (
+    CacheStats,
+    MemoryLRU,
+    ResultCache,
+    TieredCache,
+    cache_key,
+)
+from repro.pipeline.runner import PipelineResult, WorkerPool, run_pipeline
 
 __all__ = [
     "ANALYSES",
     "DEFAULT_CONFIG",
     "AnalysisSpec",
     "CacheStats",
+    "MemoryLRU",
     "PipelineResult",
     "ResultCache",
+    "TieredCache",
+    "WorkerPool",
     "analysis_names",
     "cache_key",
     "run_pipeline",

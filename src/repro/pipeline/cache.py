@@ -23,15 +23,35 @@ a miss and recomputed — corruption can cost time, never correctness.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 #: Bump when the on-disk entry format changes (part of every key).
 CACHE_FORMAT = 1
+
+
+def _reject_non_json(value: object) -> object:
+    """``json.dumps`` fallback for :func:`cache_key`: always raises.
+
+    Silently coercing arbitrary objects (the old behaviour was
+    ``default=list``) lets two distinct configurations alias one cache
+    key — a set's iteration order is arbitrary, and any stateful
+    iterable serializes as whatever it happened to yield.  A loud
+    ``TypeError`` turns a wrong-result bug into an immediate one.
+    """
+    raise TypeError(
+        f"cache_key config value {value!r} of type "
+        f"{type(value).__name__} is not JSON-serializable; cache keys "
+        "require plain JSON config values (normalize sets and custom "
+        "objects before keying)"
+    )
 
 
 def cache_key(
@@ -49,6 +69,10 @@ def cache_key(
     down to the keys the analysis actually reads (see
     :data:`repro.pipeline.analyses.ANALYSES`), so that e.g. changing
     explorer budgets does not invalidate certification entries.
+
+    Config values must be plain JSON data (tuples are fine — they
+    serialize exactly like lists); anything else raises ``TypeError``
+    rather than silently coercing into a possibly-aliasing key.
     """
     document = json.dumps(
         {
@@ -61,7 +85,7 @@ def cache_key(
         },
         sort_keys=True,
         separators=(",", ":"),
-        default=list,
+        default=_reject_non_json,
     )
     return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
@@ -123,24 +147,150 @@ class ResultCache:
         return payload["result"]
 
     def put(self, key: str, analysis: str, result: dict) -> None:
-        """Atomically store ``result`` under ``key`` (best effort)."""
+        """Atomically store ``result`` under ``key`` (best effort).
+
+        The temp file is removed in a ``finally`` whenever the write
+        did not complete — a serialization error or a failing
+        ``os.replace`` must never strand ``*.json.tmp`` litter in the
+        cache root (a long-running service makes this path hot).  Any
+        write failure, including an unserializable ``result``, is
+        swallowed: the pipeline must never fail because its cache did.
+        """
         path = self._path(key)
         payload = {"key": key, "analysis": analysis, "result": result}
+        tmp: Optional[str] = None
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
+                dir=os.path.dirname(path), suffix=".json.tmp"
             )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle, sort_keys=True)
-                os.replace(tmp, path)
-            except BaseException:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+            tmp = None  # the write landed; nothing to clean up
+            self.stats.writes += 1
+        except (OSError, TypeError, ValueError):
+            return
+        finally:
+            if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
-                raise
-        except OSError:
+
+
+class MemoryLRU:
+    """A bounded, thread-safe in-memory LRU of analysis results.
+
+    The memory tier of a :class:`TieredCache`: keyed by the same
+    :func:`cache_key` addresses as the on-disk store, so promoting or
+    demoting an entry between tiers never changes what it means.
+    ``get`` returns a deep copy — entries are shared across service
+    requests and threads, and a caller mutating its result document
+    must not corrupt every later hit.
+
+    ``capacity`` bounds the entry count (the results this repo caches
+    are small JSON documents; an entry cap is predictable where a byte
+    cap would be guesswork).  ``capacity=0`` disables the tier.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached result for ``key`` (a fresh copy), or ``None``."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return copy.deepcopy(value)
+
+    def put(self, key: str, result: dict) -> None:
+        """Insert ``result`` under ``key``, evicting the LRU entry."""
+        if self.capacity == 0:
             return
+        with self._lock:
+            self._entries[key] = copy.deepcopy(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON shape of the tier's counters."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class TieredCache:
+    """A :class:`MemoryLRU` in front of an (optional) on-disk store.
+
+    Drop-in for :class:`ResultCache` where ``run_pipeline`` is
+    concerned (``get``/``put``/``stats``): reads try memory first and
+    promote disk hits; writes land in both tiers.  The ``stats``
+    object is the *combined* hit/miss accounting (a memory hit is
+    still a cache hit), so pipeline counters keep meaning what they
+    always meant; per-tier counters live in :meth:`lru_stats`.
+    """
+
+    def __init__(self, disk: Optional[ResultCache], lru: Optional[MemoryLRU] = None):
+        self.disk = disk
+        self.lru = lru if lru is not None else MemoryLRU()
+        self.stats = CacheStats()
+
+    @property
+    def root(self) -> Optional[str]:
+        """The disk tier's root directory (``None`` when memory-only)."""
+        return self.disk.root if self.disk is not None else None
+
+    def get(self, key: str) -> Optional[dict]:
+        """Memory first, then disk (promoting the entry on a disk hit)."""
+        found = self.lru.get(key)
+        if found is not None:
+            self.stats.hits += 1
+            return found
+        if self.disk is not None:
+            found = self.disk.get(key)
+            if found is not None:
+                self.lru.put(key, found)
+                self.stats.hits += 1
+                return found
+            self.stats.corrupt = self.disk.stats.corrupt
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, analysis: str, result: dict) -> None:
+        """Store ``result`` in both tiers (disk write is best effort)."""
+        self.lru.put(key, result)
+        if self.disk is not None:
+            self.disk.put(key, analysis, result)
         self.stats.writes += 1
+
+    def lru_stats(self) -> Dict[str, int]:
+        """The memory tier's own counters (see :class:`MemoryLRU`)."""
+        return self.lru.to_dict()

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -248,6 +249,9 @@ def run_pipeline(
     config: Optional[Dict[str, object]] = None,
     deadline: Optional[float] = None,
     trace: Optional[TraceEmitter] = None,
+    pool: Optional[WorkerPool] = None,
+    cache: Optional[object] = None,
+    observer: Optional[MetricsAggregator] = None,
 ) -> PipelineResult:
     """Run ``analyses`` over every program in ``corpus``.
 
@@ -262,12 +266,24 @@ def run_pipeline(
     analysis that exhausts it returns a partial result flagged
     ``degraded`` and the batch carries on — so one divergent or
     state-explosive program costs at most the deadline, never the run.
-    ``trace`` (a :class:`repro.observe.TraceEmitter`) receives the
-    run's spans and lifecycle events; the aggregated metrics document
-    is always available as :attr:`PipelineResult.metrics`.
+    Deadlines are per *task*: every (program, analysis) cell starts its
+    own clock, so an earlier slow task never shortens a later one's
+    grant.  ``trace`` (a :class:`repro.observe.TraceEmitter`) receives
+    the run's spans and lifecycle events; the aggregated metrics
+    document is always available as :attr:`PipelineResult.metrics`.
+
+    The three resident-service hooks (``repro serve`` uses all of
+    them): ``pool`` is a caller-owned :class:`WorkerPool` reused
+    across calls instead of a per-call executor; ``cache`` is a
+    caller-owned cache object (``get``/``put``/``stats``, e.g. a
+    :class:`repro.pipeline.cache.TieredCache`) that overrides
+    ``cache_dir``/``use_cache``; ``observer`` is a caller-owned
+    :class:`repro.observe.MetricsAggregator` that accumulates across
+    calls (when given, ``trace`` should be wired as its sink).
     """
     started = time.perf_counter()
-    observer = MetricsAggregator(sink=trace) if trace is not None else MetricsAggregator()
+    if observer is None:
+        observer = MetricsAggregator(sink=trace) if trace is not None else MetricsAggregator()
     for analysis in analyses:
         if analysis not in ANALYSES:
             raise ValueError(
@@ -292,7 +308,8 @@ def run_pipeline(
 
     entries = _canonical_corpus(corpus)
     analyses = tuple(analyses)
-    cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
+    if cache is None:
+        cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
 
     results: Dict[Tuple[int, str], dict] = {}
     cached_cells: set = set()
@@ -317,7 +334,7 @@ def run_pipeline(
                     continue
             pending.append(task)
 
-    computed = _execute(pending, merged, jobs, observer)
+    computed = _execute(pending, merged, jobs, observer, pool=pool)
     seconds: Dict[Tuple[int, str], Optional[float]] = {}
     for task, envelope in zip(pending, computed):
         result = envelope["result"]
@@ -377,7 +394,7 @@ def run_pipeline(
         "computed": len(pending),
         "elapsed_seconds": elapsed,
         "cache": cache_counters,
-        "cache_dir": cache_dir if cache is not None else None,
+        "cache_dir": getattr(cache, "root", cache_dir) if cache is not None else None,
         "workers": dict(observer.workers),
     }
     return PipelineResult(
@@ -406,88 +423,231 @@ def _crash_record(attempts: int, detail: str) -> dict:
     }
 
 
+def _reprice_deadline(
+    config: dict, first_submitted: float, now: float
+) -> dict:
+    """The retry-time config: the deadline is what's *left*, not the
+    original grant.
+
+    A deadline-carrying task whose worker crashed is retried; giving
+    the retry the original deadline would let a crash + retry spend up
+    to ``MAX_TASK_ATTEMPTS`` times the caller's budget.  The retry is
+    charged the wall-clock already spent since the task's first
+    submission, clamped at zero (a zero deadline degrades immediately,
+    which is exactly the contract: partial result, flagged, on time).
+    """
+    deadline = config.get("deadline")
+    if deadline is None:
+        return config
+    repriced = dict(config)
+    repriced["deadline"] = max(0.0, float(deadline) - (now - first_submitted))
+    return repriced
+
+
+def _warm_worker() -> bool:
+    """A no-op task used to pre-spawn pool workers (see WorkerPool.warm)."""
+    return True
+
+
+class WorkerPool:
+    """A persistent, crash-isolated process pool for pipeline tasks.
+
+    ``run_pipeline`` historically built a pool per call and tore it
+    down afterwards; a resident service cannot afford that — worker
+    startup would dominate every request.  A ``WorkerPool`` owns one
+    ``ProcessPoolExecutor`` that survives across ``run_pipeline(...,
+    pool=...)`` calls, rebuilding it only when a dying worker breaks
+    it.  The crash-isolation contract is unchanged: a task that keeps
+    killing its worker is abandoned with a ``WorkerCrash`` record
+    after :data:`MAX_TASK_ATTEMPTS` attempts, and a retried
+    deadline-carrying task only gets the *remaining* wall-clock budget
+    (see :func:`_reprice_deadline`).
+
+    Thread-safe: concurrent ``run`` calls (service requests) share the
+    executor; only creation/teardown is serialized.  ``submitted``
+    counts every task ever handed to the executor — the observability
+    hook behind the service's "an LRU hit never touches the pool"
+    guarantee.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.submitted = 0
+        self.pools_started = 0
+        self._ctx = _pool_context()
+        self._lock = threading.RLock()
+        self._executor = None
+        self._closed = False
+
+    def _handle(self, observer: MetricsAggregator):
+        """The live executor, creating (and announcing) one if needed."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=self._ctx
+                )
+                self.pools_started += 1
+                observer.event("pool_start", workers=self.jobs)
+            return self._executor
+
+    def _discard(self, executor) -> None:
+        """Drop a broken executor (unless a racing call already did)."""
+        with self._lock:
+            if self._executor is executor:
+                self._executor = None
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def warm(self, observer: Optional[MetricsAggregator] = None) -> None:
+        """Pre-spawn every worker now.
+
+        A threaded server should fork its workers *before* request
+        threads exist — forking a many-threaded process risks
+        inheriting held locks.  Also moves worker startup cost out of
+        the first request.
+        """
+        observer = observer if observer is not None else MetricsAggregator()
+        pool = self._handle(observer)
+        futures = [pool.submit(_warm_worker) for _ in range(self.jobs)]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        """Shut the executor down; the pool cannot be reused after."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def run(
+        self,
+        pending: List[_Task],
+        payloads: List[tuple],
+        observer: MetricsAggregator,
+    ) -> List[dict]:
+        """Run one batch of tasks, retrying across worker crashes.
+
+        Returns one envelope per task, in task order (so the assembled
+        document never depends on completion order).  When a worker
+        dies the broken executor is rebuilt and the unfinished tasks
+        are retried up to :data:`MAX_TASK_ATTEMPTS` times.
+        """
+        from concurrent.futures import as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: List[Optional[dict]] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        first_submitted: List[Optional[float]] = [None] * len(payloads)
+        remaining = list(range(len(payloads)))
+        while remaining:
+            pool = self._handle(observer)
+            broken = False
+            futures = {}
+            now = time.monotonic()
+            try:
+                for i in remaining:
+                    payload = payloads[i]
+                    if first_submitted[i] is None:
+                        first_submitted[i] = now
+                    else:  # a retry: charge the wall-clock already spent
+                        source, kind, analysis, config = payload
+                        payload = (
+                            source,
+                            kind,
+                            analysis,
+                            _reprice_deadline(config, first_submitted[i], now),
+                        )
+                    futures[pool.submit(_compute, payload)] = i
+                    self.submitted += 1
+            except (BrokenProcessPool, RuntimeError):
+                # the executor broke under a concurrent run() before we
+                # finished submitting; collect what we did submit
+                broken = True
+            try:
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except Exception as exc:  # e.g. an unpicklable result
+                        results[index] = {
+                            "result": _error_record(exc),
+                            "seconds": None,
+                        }
+                # A pool break fails every unfinished future at once;
+                # sweep up the tasks that finished before the crash.
+                if broken:
+                    for future, index in futures.items():
+                        if results[index] is not None or not future.done():
+                            continue
+                        try:
+                            results[index] = future.result()
+                        except Exception:
+                            pass
+            finally:
+                if broken:
+                    self._discard(pool)
+                    observer.event("pool_broken")
+            retry = []
+            for index in remaining:
+                if results[index] is not None:
+                    continue
+                attempts[index] += 1
+                if attempts[index] >= MAX_TASK_ATTEMPTS:
+                    results[index] = _crash_record(
+                        attempts[index],
+                        f"{pending[index].name}/{pending[index].analysis}",
+                    )
+                    observer.event(
+                        "task_abandoned",
+                        program=pending[index].name,
+                        analysis=pending[index].analysis,
+                        attempts=attempts[index],
+                    )
+                else:
+                    retry.append(index)
+                    observer.event(
+                        "task_retry",
+                        program=pending[index].name,
+                        analysis=pending[index].analysis,
+                        attempt=attempts[index],
+                    )
+            remaining = retry
+        assert all(envelope is not None for envelope in results)
+        return results
+
+
 def _execute(
     pending: List[_Task],
     config: dict,
     jobs: int,
     observer: MetricsAggregator,
+    pool: Optional[WorkerPool] = None,
 ) -> List[dict]:
     """Run the cache misses, in-process or across a crash-isolated pool.
 
-    Returns one envelope per task, in task order (so the assembled
-    document never depends on completion order).  When a worker dies,
-    the broken pool is rebuilt and the unfinished tasks are retried up
-    to :data:`MAX_TASK_ATTEMPTS` times; a task that keeps killing its
-    worker is abandoned with a structured ``WorkerCrash`` error.
+    Each task gets its *own* config dict: per-task resource budgets
+    (``deadline``) are started from the task's own clock, never shared
+    or inherited from a sibling task's partially-spent budget — one
+    slow program must not shorten the next program's grant.
     """
-    payloads = [(t.source, t.kind, t.analysis, config) for t in pending]
+    payloads = [(t.source, t.kind, t.analysis, dict(config)) for t in pending]
+    if pool is not None:
+        if not payloads:
+            return []
+        return pool.run(pending, payloads, observer)
     if jobs <= 1 or len(payloads) <= 1:
         return [_compute(payload) for payload in payloads]
-
-    from concurrent.futures import ProcessPoolExecutor, as_completed
-    from concurrent.futures.process import BrokenProcessPool
-
-    ctx = _pool_context()
-    results: List[Optional[dict]] = [None] * len(payloads)
-    attempts = [0] * len(payloads)
-    remaining = list(range(len(payloads)))
-    while remaining:
-        workers = min(jobs, len(remaining))
-        observer.event("pool_start", workers=workers)
-        broken = False
-        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-        futures = {pool.submit(_compute, payloads[i]): i for i in remaining}
-        try:
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    results[index] = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    break
-                except Exception as exc:  # e.g. an unpicklable result
-                    results[index] = {
-                        "result": _error_record(exc),
-                        "seconds": None,
-                    }
-            # A pool break fails every unfinished future at once; sweep
-            # up the tasks that did finish before the crash landed.
-            if broken:
-                for future, index in futures.items():
-                    if results[index] is not None or not future.done():
-                        continue
-                    try:
-                        results[index] = future.result()
-                    except Exception:
-                        pass
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-        if broken:
-            observer.event("pool_broken")
-        retry = []
-        for index in remaining:
-            if results[index] is not None:
-                continue
-            attempts[index] += 1
-            if attempts[index] >= MAX_TASK_ATTEMPTS:
-                results[index] = _crash_record(
-                    attempts[index],
-                    f"{pending[index].name}/{pending[index].analysis}",
-                )
-                observer.event(
-                    "task_abandoned",
-                    program=pending[index].name,
-                    analysis=pending[index].analysis,
-                    attempts=attempts[index],
-                )
-            else:
-                retry.append(index)
-                observer.event(
-                    "task_retry",
-                    program=pending[index].name,
-                    analysis=pending[index].analysis,
-                    attempt=attempts[index],
-                )
-        remaining = retry
-    assert all(envelope is not None for envelope in results)
-    return results
+    own = WorkerPool(jobs)
+    try:
+        return own.run(pending, payloads, observer)
+    finally:
+        own.close()

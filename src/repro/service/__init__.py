@@ -1,0 +1,25 @@
+"""A resident analysis service: the batch pipeline behind HTTP.
+
+``repro serve`` keeps one process resident so repeated analysis of
+similar programs pays for analysis, never for startup: a persistent
+pre-forked worker pool, an in-memory LRU in front of the on-disk
+content-addressed cache, and coalescing of concurrent identical
+requests.  The response document is byte-identical to
+``repro batch --json`` for the same inputs — the service adds speed,
+never a second result format.  See ``docs/service.md``.
+"""
+
+from repro.service.app import (
+    DEFAULT_ANALYSES,
+    AnalysisService,
+    ServiceError,
+)
+from repro.service.httpd import AnalysisServer, serve
+
+__all__ = [
+    "DEFAULT_ANALYSES",
+    "AnalysisServer",
+    "AnalysisService",
+    "ServiceError",
+    "serve",
+]

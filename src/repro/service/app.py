@@ -1,0 +1,376 @@
+"""The resident analysis service behind ``repro serve``.
+
+:class:`AnalysisService` wraps the batch pipeline
+(:func:`repro.pipeline.run_pipeline`) into a long-lived, thread-safe
+request handler.  Three things make it a service rather than a loop
+around the CLI:
+
+* **a persistent worker pool** — one :class:`repro.pipeline.WorkerPool`
+  survives across requests, so a request pays for analysis, never for
+  process startup (the pool is pre-forked before the first request);
+* **a two-tier cache** — a bounded in-memory LRU
+  (:class:`repro.pipeline.MemoryLRU`) in front of the on-disk
+  content-addressed store, keyed by the same ``cache_key``; a warm hit
+  is served without touching the pool at all;
+* **request coalescing** — concurrent identical submissions (same
+  canonical programs, analyses, and config) share one computation and
+  all receive its result.
+
+The response contract is strict: for any (program, analyses, config)
+the ``POST /analyze`` body is byte-identical to the ``repro batch
+--json`` document for the same inputs — the service is a cache+pool in
+front of the pipeline, never a different pipeline.  Deadlines degrade
+(partial results flagged ``degraded``), they do not 500; see
+``docs/service.md`` for the endpoint schema and the shutdown/drain
+behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+import repro
+from repro.lang.parser import parse_program, parse_statement
+from repro.lang.pretty import pretty
+from repro.lang.validate import validate_program
+from repro.observe import MetricsAggregator
+from repro.pipeline import (
+    MemoryLRU,
+    ResultCache,
+    TieredCache,
+    WorkerPool,
+    run_pipeline,
+)
+
+#: Default analyses when a request names none — the same default as
+#: ``repro batch``.
+DEFAULT_ANALYSES: Tuple[str, ...] = ("cert", "lint")
+
+#: Cap on request body size (bytes); a guard, not a tuning knob.
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+#: Per-cell item records the resident metrics aggregator retains (the
+#: cumulative ``run``/``analyses`` aggregates are exact regardless).
+SERVICE_ITEM_RECORDS = 2048
+
+
+class ServiceError(Exception):
+    """A request the service rejects (HTTP 4xx), with a clean message."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _error_body(message: str, status: int) -> bytes:
+    document = {"error": message, "status": status}
+    return (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+
+
+class AnalysisService:
+    """The request-level core of ``repro serve`` (transport-agnostic).
+
+    The HTTP layer (:mod:`repro.service.httpd`) owns sockets and
+    signals; everything about *analysis* — parsing requests, the cache
+    tiers, the pool, coalescing, metrics — lives here, which is what
+    the test suite drives directly.
+
+    ``jobs=1`` runs analyses in-process (no pool); ``jobs > 1`` keeps a
+    persistent pre-forked pool.  ``cache_dir=None`` disables the disk
+    tier, ``lru_capacity=0`` the memory tier; with both disabled every
+    request recomputes.  ``default_deadline`` applies to requests that
+    do not set ``config.deadline`` themselves (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        cache_dir: Optional[str] = None,
+        lru_capacity: int = 4096,
+        default_deadline: Optional[float] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.default_deadline = default_deadline
+        self.pool: Optional[WorkerPool] = WorkerPool(jobs) if jobs > 1 else None
+        disk = ResultCache(cache_dir) if cache_dir else None
+        if disk is None and lru_capacity == 0:
+            self.cache: Optional[TieredCache] = None
+        else:
+            self.cache = TieredCache(disk, MemoryLRU(lru_capacity))
+        self.observer = MetricsAggregator(max_items=SERVICE_ITEM_RECORDS)
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.in_flight = 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def warm(self) -> None:
+        """Pre-fork the worker pool (call before serving threads exist)."""
+        if self.pool is not None:
+            self.pool.warm(self.observer)
+
+    def begin_drain(self) -> None:
+        """Refuse new work; in-flight requests run to completion."""
+        self.draining = True
+
+    def close(self) -> None:
+        """Tear down the worker pool."""
+        if self.pool is not None:
+            self.pool.close()
+
+    # -- request handling ---------------------------------------------
+
+    def analyze_json(self, raw: bytes) -> Tuple[int, bytes]:
+        """Handle one ``POST /analyze`` body; returns (status, body).
+
+        Malformed requests are 400s with a JSON error document; valid
+        requests always produce the deterministic pipeline document —
+        a per-request deadline yields ``degraded``-flagged partial
+        results inside a 200, never a 500.
+        """
+        with self._lock:
+            self.requests += 1
+        if len(raw) > MAX_REQUEST_BYTES:
+            return self._reject(
+                f"request body exceeds {MAX_REQUEST_BYTES} bytes", 413
+            )
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return self._reject("request body is not valid JSON", 400)
+        try:
+            corpus, analyses, config = self._parse_request(request)
+        except ServiceError as exc:
+            return self._reject(str(exc), exc.status)
+
+        key = self._coalescing_key(corpus, analyses, config)
+        with self._lock:
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = Future()
+                self._inflight[key] = future
+            else:
+                self.coalesced += 1
+        if leader:
+            try:
+                outcome = self._run(corpus, analyses, config)
+            except BaseException:
+                # never leave followers hanging on a dead future
+                outcome = (500, _error_body("internal service error", 500))
+                future.set_result(outcome)
+                with self._lock:
+                    self._inflight.pop(key, None)
+                raise
+            future.set_result(outcome)
+            with self._lock:
+                self._inflight.pop(key, None)
+        return future.result()
+
+    def _reject(self, message: str, status: int) -> Tuple[int, bytes]:
+        with self._lock:
+            self.rejected += 1
+        return status, _error_body(message, status)
+
+    def _run(self, corpus, analyses, config) -> Tuple[int, bytes]:
+        with self._lock:
+            self.in_flight += 1
+        try:
+            result = run_pipeline(
+                corpus,
+                analyses=analyses,
+                jobs=self.jobs,
+                config=config,
+                cache=self.cache,
+                use_cache=self.cache is not None,
+                pool=self.pool,
+                observer=self.observer,
+            )
+        except ValueError as exc:  # unknown analysis / config key
+            return self._reject(str(exc), 400)
+        finally:
+            with self._lock:
+                self.in_flight -= 1
+        body = (result.to_json() + "\n").encode("utf-8")
+        return 200, body
+
+    def _parse_request(self, request: object):
+        """Validate and resolve one request document.
+
+        Shape (see ``docs/service.md``)::
+
+            {"program": "...", "name": "p.rl", "kind": "program",
+             "analyses": ["cert", "explore"], "config": {...}}
+
+        or ``"programs": [{"name", "program", "kind"}, ...]`` for a
+        whole corpus.  Raises :class:`ServiceError` on anything that
+        ``repro batch`` would have refused at the command line.
+        """
+        if not isinstance(request, dict):
+            raise ServiceError("request must be a JSON object")
+        unknown = set(request) - {
+            "program", "programs", "name", "kind", "analyses", "config",
+            "deadline",
+        }
+        if unknown:
+            raise ServiceError(
+                f"unknown request field(s): {sorted(unknown)}"
+            )
+
+        # request-shape checks first: they are cheap and their error
+        # messages should win over a parse error in the program text
+        analyses = request.get("analyses", list(DEFAULT_ANALYSES))
+        if not isinstance(analyses, list) or not all(
+            isinstance(a, str) for a in analyses
+        ):
+            raise ServiceError("'analyses' must be an array of analysis names")
+
+        config = request.get("config", {})
+        if not isinstance(config, dict):
+            raise ServiceError("'config' must be an object")
+        config = dict(config)
+        if "deadline" in request:
+            if "deadline" in config:
+                raise ServiceError(
+                    "give the deadline once: top-level or config.deadline"
+                )
+            config["deadline"] = request["deadline"]
+        if "deadline" not in config and self.default_deadline is not None:
+            config["deadline"] = self.default_deadline
+
+        if "programs" in request:
+            if "program" in request:
+                raise ServiceError("give either 'program' or 'programs', not both")
+            entries = request["programs"]
+            if not isinstance(entries, list) or not entries:
+                raise ServiceError("'programs' must be a non-empty array")
+        else:
+            if "program" not in request:
+                raise ServiceError("request needs a 'program' (source text)")
+            entries = [
+                {
+                    "program": request["program"],
+                    "name": request.get("name", "program"),
+                    "kind": request.get("kind", "program"),
+                }
+            ]
+
+        corpus = []
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise ServiceError(f"programs[{i}] must be an object")
+            source = entry.get("program")
+            if not isinstance(source, str) or not source.strip():
+                raise ServiceError(
+                    f"programs[{i}].program must be non-empty source text"
+                )
+            name = entry.get("name", f"program-{i}")
+            if not isinstance(name, str) or not name:
+                raise ServiceError(f"programs[{i}].name must be a string")
+            kind = entry.get("kind", "program")
+            if kind not in ("program", "statement"):
+                raise ServiceError(
+                    f"programs[{i}].kind must be 'program' or 'statement', "
+                    f"got {kind!r}"
+                )
+            try:
+                subject = (
+                    parse_program(source)
+                    if kind == "program"
+                    else parse_statement(source)
+                )
+            except Exception as exc:
+                raise ServiceError(f"{name}: parse error: {exc}")
+            if kind == "program":
+                problems = validate_program(subject)
+                if problems:
+                    raise ServiceError(f"{name}: {problems[0]}")
+            corpus.append((name, subject))
+
+        return corpus, tuple(analyses), config
+
+    def _coalescing_key(self, corpus, analyses, config) -> str:
+        """One hash for "the same work": canonical programs (so
+        formatting-only differences coalesce, exactly like the cache),
+        the analysis set, the config overlay, and the code version."""
+        document = json.dumps(
+            {
+                "programs": sorted(
+                    (name, pretty(subject)) for name, subject in corpus
+                ),
+                "analyses": sorted(analyses),
+                "config": config,
+                "version": repro.__version__,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(document.encode("utf-8")).hexdigest()
+
+    # -- introspection -------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def service_counters(self) -> Dict[str, object]:
+        """The ``service`` section of the metrics document."""
+        lru = self.cache.lru_stats() if self.cache is not None else None
+        with self._lock:
+            counters: Dict[str, object] = {
+                "requests": self.requests,
+                "in_flight": self.in_flight,
+                "coalesced": self.coalesced,
+                "rejected": self.rejected,
+                "draining": self.draining,
+                "uptime_seconds": self.uptime_seconds(),
+                "lru_hits": lru["hits"] if lru else 0,
+                "lru_misses": lru["misses"] if lru else 0,
+            }
+        if lru is not None:
+            counters["lru"] = lru
+        if self.pool is not None:
+            counters["pool"] = {
+                "jobs": self.pool.jobs,
+                "submitted": self.pool.submitted,
+                "pools_started": self.pool.pools_started,
+            }
+        return counters
+
+    def metrics_document(self) -> Dict[str, object]:
+        """The cumulative ``repro-metrics/1`` document for ``/metrics``."""
+        cache = (
+            self.cache.stats.to_dict()
+            if self.cache is not None
+            else {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+        )
+        return self.observer.to_dict(
+            elapsed_seconds=self.uptime_seconds(),
+            jobs=self.jobs,
+            deadline=self.default_deadline,
+            cache=cache,
+            service=self.service_counters(),
+        )
+
+    def health_document(self) -> Tuple[int, Dict[str, object]]:
+        """The ``/healthz`` payload: 200 while serving, 503 draining."""
+        status = 503 if self.draining else 200
+        return status, {
+            "status": "draining" if self.draining else "ok",
+            "version": repro.__version__,
+            "uptime_seconds": round(self.uptime_seconds(), 3),
+            "requests": self.requests,
+            "in_flight": self.in_flight,
+        }

@@ -1,0 +1,78 @@
+"""Structural parse/pretty round-trips over the real corpora.
+
+The existing round-trip tests compare *text* (``pretty . parse`` is
+idempotent); these compare *structure*: re-parsing the pretty-printed
+form yields an AST that is node-for-node, slot-for-slot equal to the
+original, identity fields (``uid``, ``loc``) aside.  Textual fixpoints
+can hide structural drift (e.g. a printer that flattens nested blocks
+the parser then rebuilds differently); structural equality cannot.
+"""
+
+from repro.lang.ast import Node
+from repro.lang.parser import parse_program, parse_statement
+from repro.lang.pretty import pretty
+from repro.workloads.litmus import CASES
+from repro.workloads.paper import figure3_program, paper_programs
+
+#: Slots that identify a node instance, not its meaning.
+_IDENTITY_SLOTS = {"uid", "loc"}
+
+
+def _meaning_slots(node: Node):
+    for cls in type(node).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name not in _IDENTITY_SLOTS:
+                yield name
+
+
+def assert_structurally_equal(a, b, path: str) -> None:
+    if isinstance(a, Node) or isinstance(b, Node):
+        assert type(a) is type(b), f"{path}: {type(a)} vs {type(b)}"
+        for name in _meaning_slots(a):
+            assert_structurally_equal(
+                getattr(a, name), getattr(b, name), f"{path}.{name}"
+            )
+    elif isinstance(a, (list, tuple)):
+        assert isinstance(b, (list, tuple)), path
+        assert len(a) == len(b), f"{path}: {len(a)} vs {len(b)} elements"
+        for i, (left, right) in enumerate(zip(a, b)):
+            assert_structurally_equal(left, right, f"{path}[{i}]")
+    elif isinstance(a, dict):
+        assert isinstance(b, dict) and set(a) == set(b), path
+        for key in a:
+            assert_structurally_equal(a[key], b[key], f"{path}[{key!r}]")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def test_litmus_corpus_roundtrips_structurally():
+    for case in CASES:
+        stmt = case.statement()
+        assert_structurally_equal(
+            stmt, parse_statement(pretty(stmt)), case.name
+        )
+
+
+def test_paper_corpus_roundtrips_structurally():
+    for name, stmt in paper_programs().items():
+        assert_structurally_equal(
+            stmt, parse_statement(pretty(stmt)), name
+        )
+
+
+def test_figure3_program_roundtrips_structurally():
+    program = figure3_program()
+    assert_structurally_equal(
+        program, parse_program(pretty(program)), "figure3"
+    )
+
+
+def test_structural_equality_catches_a_real_difference():
+    """The comparator itself must fail on semantically different trees
+    (a vacuous checker would pass every round-trip)."""
+    import pytest
+
+    a = parse_statement("l := 1")
+    b = parse_statement("l := 2")
+    with pytest.raises(AssertionError):
+        assert_structurally_equal(a, b, "differs")

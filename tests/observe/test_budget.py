@@ -60,3 +60,20 @@ def test_deadline_poll_interval_is_sane():
     # either cost a syscall per state or never fire.
     assert isinstance(DEADLINE_CHECK_EVERY, int)
     assert 1 <= DEADLINE_CHECK_EVERY <= 4096
+
+
+def test_sequential_explores_each_get_a_fresh_clock():
+    """A ``Budget`` is a *spec*: the clock starts when ``explore`` does.
+    Reusing one Budget across sequential runs (as the batch pipeline
+    does with one config) must grant each run the full deadline, even
+    after enough idle wall-clock to exhaust it."""
+    from repro.lang.parser import parse_statement
+    from repro.runtime.explorer import explore
+
+    stmt = parse_statement("begin l := 1; l2 := l end")
+    budget = Budget(deadline=0.25)
+    first = explore(stmt, budget=budget)
+    time.sleep(0.3)  # longer than the whole deadline
+    second = explore(stmt, budget=budget)
+    assert first.complete and not first.degraded
+    assert second.complete and not second.degraded

@@ -146,3 +146,127 @@ def test_unwritable_cache_root_is_a_no_op(tmp_path):
     cache = ResultCache(str(blocker / "sub"))
     cache.put("ab" + "0" * 62, "cert", {"certified": True})  # must not raise
     assert cache.stats.writes == 0
+
+
+# -- write-path hygiene (regression: a failed write stranded *.tmp files) ----
+
+
+def _tmp_litter(root):
+    return [
+        f
+        for dirpath, _, names in os.walk(str(root))
+        for f in names
+        if f.endswith(".tmp")
+    ]
+
+
+def test_failed_replace_leaves_no_tmp_litter(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path / "c"))
+
+    def refuse(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("repro.pipeline.cache.os.replace", refuse)
+    cache.put("ab" + "0" * 62, "cert", {"certified": True})  # must not raise
+    assert _tmp_litter(tmp_path) == []
+    assert cache.stats.writes == 0
+    assert cache.get("ab" + "0" * 62) is None  # nothing half-written
+
+
+def test_unserializable_result_leaves_no_tmp_litter(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    cache.put("ab" + "0" * 62, "cert", {"bad": object()})  # must not raise
+    assert _tmp_litter(tmp_path) == []
+    assert cache.stats.writes == 0
+    assert cache.get("ab" + "0" * 62) is None
+
+
+# -- key hygiene (regression: default=list silently coerced non-JSON) --------
+
+
+def test_cache_key_rejects_non_json_config_values():
+    with pytest.raises(TypeError, match="not JSON-serializable"):
+        cache_key(
+            "l := h", "statement", "cert", {"high": {"h", "h2"}}, "1.0.0"
+        )
+
+
+def test_cache_key_tuple_and_list_configs_agree():
+    # tuples serialize natively as JSON arrays: removing the silent
+    # coercion must not re-key any existing entry
+    a = cache_key("l := h", "statement", "cert", {"high": ("h", "h2")}, "1.0.0")
+    b = cache_key("l := h", "statement", "cert", {"high": ["h", "h2"]}, "1.0.0")
+    assert a == b
+
+
+# -- the in-memory tier ------------------------------------------------------
+
+
+def test_memory_lru_eviction_order_and_counters():
+    from repro.pipeline import MemoryLRU
+
+    lru = MemoryLRU(capacity=2)
+    lru.put("a", {"v": 1})
+    lru.put("b", {"v": 2})
+    assert lru.get("a") == {"v": 1}  # refreshes "a"
+    lru.put("c", {"v": 3})  # evicts "b", the least recently used
+    assert lru.get("b") is None
+    assert lru.get("a") == {"v": 1}
+    assert lru.get("c") == {"v": 3}
+    assert len(lru) == 2
+    assert lru.to_dict() == {
+        "capacity": 2, "entries": 2, "hits": 3, "misses": 1, "evictions": 1,
+    }
+
+
+def test_memory_lru_isolates_entries_from_caller_mutation():
+    from repro.pipeline import MemoryLRU
+
+    lru = MemoryLRU()
+    original = {"nested": {"v": 1}}
+    lru.put("k", original)
+    original["nested"]["v"] = 666  # the caller's copy, not the cache's
+    got = lru.get("k")
+    assert got == {"nested": {"v": 1}}
+    got["nested"]["v"] = 999  # nor can a reader corrupt later hits
+    assert lru.get("k") == {"nested": {"v": 1}}
+
+
+def test_memory_lru_capacity_zero_disables_the_tier():
+    from repro.pipeline import MemoryLRU
+
+    lru = MemoryLRU(capacity=0)
+    lru.put("k", {"v": 1})
+    assert lru.get("k") is None
+    assert len(lru) == 0
+
+
+def test_tiered_cache_promotes_disk_hits_into_memory(tmp_path):
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    key = "ab" + "0" * 62
+    first = TieredCache(ResultCache(str(tmp_path / "c")), MemoryLRU(8))
+    first.put(key, "cert", {"certified": True})
+    # a new tier over the same disk store: memory is cold, disk is warm
+    second = TieredCache(ResultCache(str(tmp_path / "c")), MemoryLRU(8))
+    assert second.get(key) == {"certified": True}  # served from disk
+    assert second.lru.hits == 0
+    assert second.get(key) == {"certified": True}  # now from memory
+    assert second.lru.hits == 1
+    assert second.stats.hits == 2  # combined accounting: both were hits
+
+
+def test_tiered_cache_is_a_dropin_for_run_pipeline(tmp_path):
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    tier = TieredCache(ResultCache(str(tmp_path / "cache")), MemoryLRU(64))
+    cold = run_pipeline(small_corpus(), analyses=("cert",), cache=tier)
+    warm = run_pipeline(small_corpus(), analyses=("cert",), cache=tier)
+    assert cold.to_json() == warm.to_json()
+    # a caller-owned cache accumulates across runs (service semantics):
+    # 4 cold misses+writes, then 4 warm hits
+    assert warm.stats["cache"] == {
+        "hits": 4, "misses": 4, "writes": 4, "corrupt": 0,
+    }
+    assert tier.lru.hits == 4  # the warm run never went to disk
+    assert warm.stats["cache_dir"] == str(tmp_path / "cache")

@@ -244,3 +244,86 @@ def test_cli_batch_high_and_scheme_knobs(tmp_path, capsys):
          "--high", "a"]
     ) == 0
     assert "cert=REJECT" in capsys.readouterr().out
+
+
+# -- per-task budgets (regressions: shared config dicts, full-deadline
+#    retries) ----------------------------------------------------------------
+
+
+def test_reprice_deadline_charges_elapsed_wall_clock():
+    from repro.pipeline.runner import _reprice_deadline
+
+    no_deadline = {"deadline": None}
+    assert _reprice_deadline(no_deadline, 0.0, 99.0) is no_deadline
+    repriced = _reprice_deadline({"deadline": 5.0}, 100.0, 102.0)
+    assert repriced["deadline"] == pytest.approx(3.0)
+    # clamped at zero: a zero deadline degrades immediately, on time
+    spent = _reprice_deadline({"deadline": 1.0}, 100.0, 200.0)
+    assert spent["deadline"] == 0.0
+
+
+def test_each_task_gets_an_independent_config(monkeypatch):
+    """One task mutating its config (e.g. consuming a budget) must
+    never shorten a sibling's grant: every payload carries its own
+    dict, each holding the caller's full original deadline."""
+    from repro.pipeline import runner
+
+    arrivals = []
+    real_compute = runner._compute
+
+    def spy(payload):
+        arrivals.append((id(payload[3]), payload[3]["deadline"]))
+        payload[3]["deadline"] = 0.0  # simulate a task spending its grant
+        return real_compute(payload)
+
+    monkeypatch.setattr(runner, "_compute", spy)
+    result = run_pipeline(
+        litmus_corpus()[:3],
+        analyses=("cert",),
+        use_cache=False,
+        config={"deadline": 30.0},
+    )
+    assert not result.errors()
+    assert len(arrivals) == 3
+    assert len({ident for ident, _ in arrivals}) == 3  # three distinct dicts
+    assert [deadline for _, deadline in arrivals] == [30.0, 30.0, 30.0]
+
+
+def test_retry_after_crash_gets_remaining_deadline_not_original(
+    tmp_path, monkeypatch
+):
+    """A crash-retried task is charged the wall clock it already spent:
+    the retry's deadline must be strictly below the original grant."""
+    import json as json_mod
+    import os
+    import time
+
+    from repro.pipeline import runner
+
+    log = tmp_path / "deadlines.jsonl"
+    tombstone = tmp_path / "crashed-once"
+
+    def record_and_die_once(payload):
+        if "kaboom" in payload[0]:
+            with open(log, "a", encoding="utf-8") as handle:
+                handle.write(json_mod.dumps(payload[3]["deadline"]) + "\n")
+            if not tombstone.exists():
+                tombstone.write_text("")
+                time.sleep(0.2)  # burn wall clock against the grant
+                os._exit(13)
+
+    monkeypatch.setattr(runner, "_INJECT_FAULT", record_and_die_once)
+    result = run_pipeline(
+        _poison_corpus(),
+        analyses=("cert",),
+        jobs=2,
+        use_cache=False,
+        config={"deadline": 30.0},
+    )
+    assert result.program("kaboom")["analyses"]["cert"]["certified"] is True
+    deadlines = [
+        json_mod.loads(line) for line in log.read_text().splitlines()
+    ]
+    assert len(deadlines) >= 2  # first attempt + at least one retry
+    assert deadlines[0] == pytest.approx(30.0)
+    assert all(d < 30.0 - 0.1 for d in deadlines[1:])

@@ -1,0 +1,1 @@
+"""Tests for the resident analysis service (``repro serve``)."""

@@ -1,0 +1,130 @@
+"""End-to-end HTTP tests: a real ``repro serve`` process, real sockets.
+
+The drain test is the load-bearing one: SIGTERM must let an in-flight
+request run to completion (its response arrives whole) and then exit 0.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.observe.metrics import validate_metrics
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Unbounded state space: explore only ever stops on a budget.
+DIVERGENT = "begin x := 0; while 0 = 0 do x := x + 1 end"
+
+
+def start_server(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--no-cache", "--quiet", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    announce = proc.stdout.readline()
+    match = re.search(r"http://[\d.]+:(\d+)", announce)
+    assert match, f"no port announcement in {announce!r}"
+    return proc, f"http://127.0.0.1:{match.group(1)}"
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def post_analyze(base, payload):
+    request = urllib.request.Request(
+        f"{base}/analyze", data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def test_http_roundtrip_health_metrics_and_clean_exit():
+    proc, base = start_server("--jobs", "1")
+    try:
+        status, health = get_json(f"{base}/healthz")
+        assert (status, health["status"]) == (200, "ok")
+
+        status, body = post_analyze(base, {
+            "program": "l := 1", "kind": "statement", "name": "tiny",
+            "analyses": ["cert"],
+        })
+        assert status == 200
+        document = json.loads(body)
+        assert document["programs"][0]["analyses"]["cert"]["certified"] is True
+
+        status, bad = post_analyze(base, {"program": ""})
+        assert status == 400
+
+        status, metrics = get_json(f"{base}/metrics")
+        assert status == 200
+        assert validate_metrics(metrics) == []
+        assert metrics["service"]["requests"] == 2
+        assert metrics["service"]["rejected"] == 1
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(f"{base}/nope", timeout=30)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+
+def test_sigterm_drains_the_inflight_request():
+    proc, base = start_server("--jobs", "1")
+    outcome = {}
+
+    def inflight():
+        outcome["response"] = post_analyze(base, {
+            "program": DIVERGENT, "kind": "statement", "name": "spin",
+            "analyses": ["explore"],
+            "config": {"deadline": 2.0, "max_states": 10**8,
+                       "max_depth": 10**8},
+        })
+
+    worker = threading.Thread(target=inflight)
+    worker.start()
+    try:
+        # wait until the slow request is genuinely in flight
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            _, metrics = get_json(f"{base}/metrics")
+            if metrics["service"]["in_flight"] >= 1:
+                break
+            time.sleep(0.05)
+        assert metrics["service"]["in_flight"] >= 1
+
+        proc.send_signal(signal.SIGTERM)
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        # the in-flight request completed across the shutdown: a whole,
+        # valid, degraded-flagged document — not a reset connection
+        status, body = outcome["response"]
+        assert status == 200
+        data = json.loads(body)["programs"][0]["analyses"]["explore"]
+        assert data["degraded"] is True and data["limit"] == "deadline"
+        assert proc.wait(timeout=30) == 0
+    finally:
+        worker.join(timeout=1)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)

@@ -1,0 +1,221 @@
+"""AnalysisService contract tests (in-process, no sockets).
+
+The service's one promise: it is a cache and a pool in front of
+``run_pipeline``, never a different pipeline — responses are
+byte-identical to ``repro batch --json``, warm hits skip the pool,
+identical concurrent requests share one computation, and deadlines
+degrade instead of erroring.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observe.metrics import validate_metrics
+from repro.pipeline import run_pipeline
+from repro.service import AnalysisService
+from repro.workloads.paper import FIGURE3_SOURCE, figure3_program
+
+#: Unbounded state space: explore only ever stops on a budget.
+DIVERGENT = "begin x := 0; while 0 = 0 do x := x + 1 end"
+
+
+def request_body(**overrides) -> bytes:
+    payload = {"program": FIGURE3_SOURCE, "name": "figure3.rl"}
+    payload.update(overrides)
+    return json.dumps(payload).encode("utf-8")
+
+
+def test_response_is_byte_identical_to_the_batch_document(tmp_path):
+    svc = AnalysisService(jobs=1, cache_dir=str(tmp_path / "cache"))
+    raw = request_body(analyses=["cert", "explore"])
+    status, body = svc.analyze_json(raw)
+    assert status == 200
+    expected = run_pipeline(
+        [("figure3.rl", figure3_program())],
+        analyses=("cert", "explore"),
+        use_cache=False,
+    )
+    assert body == (expected.to_json() + "\n").encode("utf-8")
+    # a warm (memory-tier) hit must serve the very same bytes
+    status2, body2 = svc.analyze_json(raw)
+    assert (status2, body2) == (200, body)
+    assert svc.cache.lru.hits >= 2
+
+
+def test_warm_lru_hit_never_touches_the_pool(tmp_path):
+    svc = AnalysisService(jobs=2, cache_dir=str(tmp_path / "cache"))
+    try:
+        raw = request_body(analyses=["cert", "lint"])
+        status, body = svc.analyze_json(raw)
+        assert status == 200
+        cold_submitted = svc.pool.submitted
+        assert cold_submitted >= 1  # the cold request did use the pool
+        status2, body2 = svc.analyze_json(raw)
+        assert (status2, body2) == (200, body)
+        # zero new pool submissions: the hit was served from memory
+        assert svc.pool.submitted == cold_submitted
+        assert svc.cache.lru.hits >= 2
+    finally:
+        svc.close()
+
+
+def test_concurrent_identical_requests_coalesce(monkeypatch):
+    from repro.service import app as app_module
+
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0)
+    canned = run_pipeline(
+        [("figure3.rl", figure3_program())], analyses=("cert",),
+        use_cache=False,
+    )
+    release = threading.Event()
+    calls = []
+
+    def slow_pipeline(*args, **kwargs):
+        calls.append(1)
+        assert release.wait(timeout=30)
+        return canned
+
+    monkeypatch.setattr(app_module, "run_pipeline", slow_pipeline)
+    raw = request_body(analyses=["cert"])
+    outcomes = []
+    threads = [
+        threading.Thread(target=lambda: outcomes.append(svc.analyze_json(raw)))
+        for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    # wait for both followers to attach to the leader's future, then
+    # let the (single) computation finish
+    deadline = time.monotonic() + 10
+    while svc.coalesced < 2 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    release.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert calls == [1]  # one computation served all three requests
+    assert svc.coalesced == 2
+    assert {status for status, _ in outcomes} == {200}
+    assert len({body for _, body in outcomes}) == 1
+
+
+def test_deadline_degrades_the_result_never_500s(tmp_path):
+    svc = AnalysisService(jobs=1, cache_dir=str(tmp_path / "cache"))
+    status, body = svc.analyze_json(request_body(
+        program=DIVERGENT,
+        name="spin",
+        kind="statement",
+        analyses=["explore"],
+        config={"deadline": 0.1, "max_states": 10**8, "max_depth": 10**8},
+    ))
+    assert status == 200
+    data = json.loads(body)["programs"][0]["analyses"]["explore"]
+    assert data["degraded"] is True
+    assert data["limit"] == "deadline"
+    # a budget-truncated partial result must never enter the cache
+    assert svc.observer.skipped_degraded >= 1
+    assert svc.cache.stats.writes == 0
+
+
+def test_default_deadline_applies_when_the_request_sets_none():
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0,
+                          default_deadline=0.1)
+    status, body = svc.analyze_json(request_body(
+        program=DIVERGENT, name="spin", kind="statement",
+        analyses=["explore"],
+        config={"max_states": 10**8, "max_depth": 10**8},
+    ))
+    assert status == 200
+    document = json.loads(body)
+    assert document["config"]["deadline"] == 0.1
+    assert document["programs"][0]["analyses"]["explore"]["degraded"] is True
+
+
+@pytest.mark.parametrize("raw,fragment", [
+    (b"{not json", "not valid JSON"),
+    (b"[1, 2]", "JSON object"),
+    (b"{}", "'program'"),
+    (json.dumps({"program": "x := 1", "programs": []}).encode(), "not both"),
+    (json.dumps({"programs": []}).encode(), "non-empty"),
+    (json.dumps({"program": "x := 1", "kind": "poem"}).encode(), "kind"),
+    (json.dumps({"program": "x := 1", "analyses": "cert"}).encode(), "array"),
+    (json.dumps({"program": "x := 1", "bogus": 1}).encode(), "unknown request field"),
+    (json.dumps({"program": "x := 1", "config": []}).encode(), "object"),
+    (json.dumps({"program": "x := 1", "deadline": 1.0,
+                 "config": {"deadline": 2.0}}).encode(), "once"),
+    (json.dumps({"program": "x := := 1"}).encode(), "parse error"),
+    (json.dumps({"program": "x := 1", "kind": "statement",
+                 "analyses": ["nope"]}).encode(), "unknown analysis"),
+    (json.dumps({"program": "x := 1", "kind": "statement",
+                 "config": {"typo": 1}}).encode(), "unknown config key"),
+])
+def test_malformed_requests_are_clean_400s(raw, fragment):
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0)
+    status, body = svc.analyze_json(raw)
+    assert status == 400
+    document = json.loads(body)
+    assert fragment in document["error"]
+    assert svc.rejected == 1
+
+
+def test_undeclared_variable_in_a_program_is_a_400():
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0)
+    status, body = svc.analyze_json(request_body(program="begin l := 1 end"))
+    assert status == 400
+    assert "declared" in json.loads(body)["error"]
+
+
+def test_metrics_document_is_valid_and_cumulative(tmp_path):
+    svc = AnalysisService(jobs=1, cache_dir=str(tmp_path / "cache"))
+    raw = request_body(analyses=["cert", "lint"])
+    svc.analyze_json(raw)
+    svc.analyze_json(raw)
+    document = svc.metrics_document()
+    assert validate_metrics(document) == []
+    service = document["service"]
+    assert service["requests"] == 2
+    assert service["in_flight"] == 0
+    assert service["coalesced"] == 0
+    assert service["lru_hits"] >= 2
+    assert "pool" not in service  # jobs=1 runs in-process
+    # both requests' cells accumulated in one document
+    assert document["run"]["tasks"] == 4
+    assert document["run"]["cached"] == 2
+
+
+def test_health_document_reflects_draining():
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0)
+    status, document = svc.health_document()
+    assert (status, document["status"]) == (200, "ok")
+    svc.begin_drain()
+    status, document = svc.health_document()
+    assert (status, document["status"]) == (503, "draining")
+
+
+def test_corpus_requests_accept_many_programs():
+    svc = AnalysisService(jobs=1, cache_dir=None, lru_capacity=0)
+    status, body = svc.analyze_json(json.dumps({
+        "programs": [
+            {"name": "b.rl", "program": "l := 1", "kind": "statement"},
+            {"name": "a.rl", "program": "l2 := 2", "kind": "statement"},
+        ],
+        "analyses": ["cert"],
+    }).encode("utf-8"))
+    assert status == 200
+    names = [p["name"] for p in json.loads(body)["programs"]]
+    assert names == ["a.rl", "b.rl"]  # document order is sorted, as in batch
+
+
+def test_cli_serve_flags_parse():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--jobs", "3", "--no-cache",
+         "--lru-size", "7", "--deadline", "1.5", "--quiet"]
+    )
+    assert args.command == "serve"
+    assert (args.port, args.jobs, args.lru_size) == (0, 3, 7)
+    assert args.no_cache and args.quiet
+    assert args.deadline == 1.5

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.staticlint",
     "repro.pipeline",
+    "repro.service",
 ]
 
 
