@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables bench-pipeline examples lint-smoke all
+.PHONY: install test bench bench-tables bench-pipeline bench-fuzz fuzz examples lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,14 @@ bench-tables:
 # Full pipeline/POR benchmark with perf gates -> BENCH_pipeline.json.
 bench-pipeline:
 	$(PYTHON) benchmarks/bench_pipeline.py
+
+# Fuzz throughput benchmark with quality gates -> BENCH_fuzz.json.
+bench-fuzz:
+	$(PYTHON) benchmarks/bench_fuzz.py
+
+# A real differential fuzzing campaign (docs/fuzzing.md).
+fuzz:
+	$(PYTHON) -m repro fuzz --seeds 200 --jobs 4
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,224 @@
+"""Fuzzing throughput: oracle cost, shrink cost, campaign rate.
+
+Three experiments, emitted together as ``BENCH_fuzz.json``:
+
+* **oracles** — each registered oracle timed alone over the same
+  generated corpus: checks/sec and the pass/skip split.  This is the
+  number that says which relation dominates a campaign (the
+  exploration-backed oracles should; ``parse-pretty`` should be ~free).
+
+* **shrink** — the delta-debugging shrinker driven by a synthetic
+  always-reproducing predicate over generated programs: weight
+  reduction achieved, accepted iterations, predicate evaluations, and
+  seconds per shrink.  The gate asserts the shrinker actually
+  minimizes (mean weight reduction over 50%) — a shrinker that keeps
+  findings large is broken even if every test passes.
+
+* **campaign** — ``run_fuzz`` end to end (all oracles, serial):
+  programs/sec and checks/sec, with the metrics document re-validated.
+  The correctness gate is the same as CI's: zero findings and zero
+  worker errors on the fixed seed range.
+
+Run standalone (``python benchmarks/bench_fuzz.py [--smoke]``, wired
+to ``make bench-fuzz`` and the CI smoke job) or via pytest
+(``pytest benchmarks/bench_fuzz.py``, smoke mode, keeping ``make
+bench`` fast).
+"""
+
+import argparse
+import sys
+import time
+
+from benchmarks._util import emit_table, write_bench_json
+from repro.fuzz import FUZZ_CONFIG, ORACLES, OracleSkip, run_fuzz, shrink
+from repro.fuzz.driver import generate_subject
+from repro.fuzz.shrinker import weight
+from repro.lang.ast import Assign, iter_nodes
+from repro.observe.metrics import validate_metrics
+
+
+def _subjects(n):
+    """The shared corpus: both profiles for each of ``n`` seeds."""
+    out = []
+    for seed in range(n):
+        for profile in ("static", "runtime_safe"):
+            out.append((profile, generate_subject(seed, profile)))
+    return out
+
+
+def bench_oracles(n_seeds):
+    subjects = _subjects(n_seeds)
+    config = dict(FUZZ_CONFIG)
+    rows = []
+    for name in sorted(ORACLES):
+        spec = ORACLES[name]
+        applicable = [s for p, s in subjects if p in spec.profiles]
+        passes = skips = violations = 0
+        start = time.perf_counter()
+        for subject in applicable:
+            try:
+                outcome = spec.check(subject, config)
+            except Exception:  # noqa: BLE001 - counted, like the driver does
+                violations += 1
+                continue
+            if outcome is None:
+                passes += 1
+            elif isinstance(outcome, OracleSkip):
+                skips += 1
+            else:
+                violations += 1
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "oracle": name,
+                "checks": len(applicable),
+                "passes": passes,
+                "skips": skips,
+                "violations": violations,
+                "seconds": round(elapsed, 4),
+                "checks_per_sec": round(len(applicable) / elapsed, 1)
+                if elapsed
+                else None,
+            }
+        )
+    return rows
+
+
+def _has_assign(subject):
+    stmt = subject.body if hasattr(subject, "decls") else subject
+    return any(isinstance(n, Assign) for n in iter_nodes(stmt))
+
+
+def bench_shrink(n_seeds):
+    rows = []
+    for seed in range(n_seeds):
+        program = generate_subject(seed, "runtime_safe")
+        if not _has_assign(program):
+            continue
+        start = time.perf_counter()
+        result = shrink(program, _has_assign)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "seed": seed,
+                "weight_before": result.weight_before,
+                "weight_after": result.weight_after,
+                "iterations": result.iterations,
+                "checks": result.checks,
+                "seconds": round(elapsed, 4),
+            }
+        )
+    reduction = sum(
+        1 - r["weight_after"] / r["weight_before"] for r in rows
+    ) / len(rows)
+    return {
+        "runs": rows,
+        "mean_weight_reduction": round(reduction, 3),
+        "total_iterations": sum(r["iterations"] for r in rows),
+        "total_checks": sum(r["checks"] for r in rows),
+    }
+
+
+def bench_campaign(seeds):
+    start = time.perf_counter()
+    result = run_fuzz(seeds=seeds, jobs=1)
+    elapsed = time.perf_counter() - start
+    return {
+        "seeds": seeds,
+        "programs": result.programs,
+        "checks": result.checks,
+        "skips": result.skips,
+        "findings": len(result.findings),
+        "errors": len(result.errors),
+        "seconds": round(elapsed, 3),
+        "programs_per_sec": round(result.programs / elapsed, 1),
+        "checks_per_sec": round(result.checks / elapsed, 1),
+        "metrics_problems": validate_metrics(result.metrics),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small corpus")
+    args = parser.parse_args(argv)
+    n = 6 if args.smoke else 25
+    campaign_seeds = 8 if args.smoke else 50
+
+    oracles = bench_oracles(n)
+    emit_table(
+        "oracle cost (shared generated corpus)",
+        ["oracle", "checks", "pass", "skip", "viol", "sec", "checks/s"],
+        [
+            (
+                r["oracle"],
+                r["checks"],
+                r["passes"],
+                r["skips"],
+                r["violations"],
+                r["seconds"],
+                r["checks_per_sec"],
+            )
+            for r in oracles
+        ],
+    )
+
+    shrinks = bench_shrink(n)
+    emit_table(
+        "shrinker cost (always-true synthetic predicate)",
+        ["seed", "weight", "->", "iters", "checks", "sec"],
+        [
+            (
+                r["seed"],
+                r["weight_before"],
+                r["weight_after"],
+                r["iterations"],
+                r["checks"],
+                r["seconds"],
+            )
+            for r in shrinks["runs"]
+        ],
+    )
+
+    campaign = bench_campaign(campaign_seeds)
+    emit_table(
+        "campaign throughput (all oracles, serial)",
+        ["seeds", "programs", "checks", "skips", "prog/s", "checks/s"],
+        [
+            (
+                campaign["seeds"],
+                campaign["programs"],
+                campaign["checks"],
+                campaign["skips"],
+                campaign["programs_per_sec"],
+                campaign["checks_per_sec"],
+            )
+        ],
+    )
+
+    payload = {
+        "smoke": args.smoke,
+        "oracles": oracles,
+        "shrink": shrinks,
+        "campaign": campaign,
+    }
+    path = write_bench_json("fuzz", payload)
+    print(f"wrote {path}")
+
+    # Correctness gates hold in every mode.
+    assert campaign["findings"] == 0, "campaign found a real violation"
+    assert campaign["errors"] == 0, "campaign lost a worker"
+    assert campaign["metrics_problems"] == [], campaign["metrics_problems"]
+    assert shrinks["mean_weight_reduction"] >= 0.5, shrinks
+    # No oracle may violate on its own: each violation here is a bug.
+    for row in oracles:
+        assert row["violations"] == 0, row
+    return 0
+
+
+def test_fuzz_bench_smoke():
+    """Pytest entry point (``make bench``): the smoke-mode run."""
+    assert main(["--smoke"]) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

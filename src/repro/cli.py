@@ -466,6 +466,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub = subs.add_parser(
+        "fuzz",
+        help="differential fuzzing: cross-check the analyzers on seeded "
+        "random programs, minimizing any violation",
+    )
+    sub.add_argument(
+        "--seeds",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of consecutive generator seeds (default: 100)",
+    )
+    sub.add_argument(
+        "--seed-start",
+        type=int,
+        default=0,
+        metavar="N",
+        help="first seed (default: 0)",
+    )
+    sub.add_argument(
+        "--oracles",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated oracles to run (default: all; "
+        "see --list-oracles)",
+    )
+    sub.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="print the oracle catalog and exit",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = serial)",
+    )
+    sub.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="persist minimized findings to this directory for replay",
+    )
+    sub.add_argument(
+        "--replay",
+        default=None,
+        metavar="DIR",
+        help="replay a finding corpus instead of fuzzing; exits 1 if "
+        "any finding deviates from its recorded expectation",
+    )
+    sub.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violations unminimized (skip delta debugging)",
+    )
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="print the campaign report as JSON",
+    )
+    sub.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the campaign metrics document "
+        "(schema repro-metrics/1, with the fuzz section) as JSON",
+    )
+    _add_scheme_flags(
+        sub,
+        include_file=False,
+        help_text="classification scheme for policy oracles "
+        "(default: two-level)",
+    )
+    sub.add_argument(
+        "--high",
+        default="v0",
+        metavar="NAMES",
+        help="comma-separated variables bound to the scheme top "
+        "(default: v0, a variable the generator emits)",
+    )
+    _add_budget_flags(sub, max_states_default=8_000, max_depth_default=600)
+
+    sub = subs.add_parser(
         "serve",
         help="long-running JSON-over-HTTP analysis service "
         "(POST /analyze, GET /healthz, GET /metrics)",
@@ -786,6 +868,95 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_fuzz(args) -> int:
+    """The ``fuzz`` subcommand: the differential fuzzing campaign."""
+    import json as json_mod
+
+    from repro.fuzz import ORACLES, oracle_names, replay_corpus, run_fuzz
+
+    if args.list_oracles:
+        for name in oracle_names():
+            spec = ORACLES[name]
+            profiles = ",".join(spec.profiles)
+            print(f"{name} [{spec.paper}; {profiles}]: {spec.description}")
+        return 0
+
+    if args.replay:
+        results = replay_corpus(args.replay)
+        unexpected = [r for r in results if not r["as_expected"]]
+        if args.json:
+            print(json_mod.dumps(results, indent=2, sort_keys=True))
+        else:
+            for r in results:
+                tag = "ok" if r["as_expected"] else "UNEXPECTED"
+                print(
+                    f"{r['path']}: {r['outcome']} "
+                    f"(expected {r['expect']}) {tag}"
+                )
+            print(
+                f"{len(results)} finding(s) replayed, "
+                f"{len(unexpected)} unexpected"
+            )
+        return 1 if unexpected else 0
+
+    oracles = _split_codes([args.oracles]) if args.oracles else None
+    config = {
+        "scheme": args.scheme,
+        "high": _split_codes([args.high]),
+        "max_states": args.max_states,
+        "max_depth": args.max_depth,
+    }
+    try:
+        result = run_fuzz(
+            seeds=args.seeds,
+            seed_start=args.seed_start,
+            oracles=oracles,
+            jobs=args.jobs,
+            config=config,
+            deadline=args.deadline,
+            do_shrink=not args.no_shrink,
+            corpus_dir=args.corpus_dir,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json_mod.dump(result.metrics, handle, indent=2, sort_keys=True)
+    if args.json:
+        print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        section = result.fuzz_section()
+        print(
+            f"{section['seeds']} seeds -> {section['programs']} programs, "
+            f"{section['checks']} oracle checks "
+            f"({section['skips']} inconclusive) in "
+            f"{result.elapsed_seconds:.2f}s with {args.jobs} job(s)"
+        )
+        for name, counters in sorted(result.oracles.items()):
+            print(
+                f"  {name}: {counters['checks']} checks, "
+                f"{counters['skips']} skips, "
+                f"{counters['violations']} violations"
+            )
+        for finding in result.findings:
+            print(
+                f"FINDING {finding['oracle']} (seed {finding['seed']}, "
+                f"{finding['profile']}, {finding['shrink_iterations']} "
+                f"shrink steps): {finding['details'].get('relation')}"
+            )
+            print("  " + finding["source"].replace("\n", "\n  "))
+        for error in result.errors:
+            print(f"error: seed {error['seed']}: {error.get('error')}",
+                  file=sys.stderr)
+        if not result.findings and not result.errors:
+            print("no violations found")
+    if args.corpus_dir and result.findings:
+        print(f"{len(result.findings)} finding(s) persisted to "
+              f"{args.corpus_dir}", file=sys.stderr)
+    return 1 if (result.findings or result.errors) else 0
+
+
 def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
@@ -793,6 +964,8 @@ def _dispatch(args) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
 
     program = _load_program(args.program)
 

@@ -1,0 +1,59 @@
+"""Differential fuzzing of the repo's analyzers against each other.
+
+The paper's results are biconditionals and containments, so the
+analyzers form a web of mutual oracles: certification must agree with
+proof generation (Theorems 1–2), the CFM must contain the Denning
+baseline (§4.3), certified runtime-safe programs must be empirically
+noninterfering, the static deadlock pass must stay sound against the
+explorer, and the tooling layers (parser/pretty-printer, batch
+pipeline) must be fixpoints of their own round-trips.  This package
+turns that web into a seeded fuzzing campaign:
+
+* :mod:`repro.fuzz.oracles` — the registry of executable relations;
+* :mod:`repro.fuzz.shrinker` — delta-debugging minimization of any
+  violating program to a 1-minimal counterexample;
+* :mod:`repro.fuzz.driver` — the campaign runner (seed fan-out over
+  the pipeline's :class:`~repro.pipeline.runner.WorkerPool`, deadline
+  degradation, metrics);
+* :mod:`repro.fuzz.corpus` — the replayable on-disk finding corpus
+  (``tests/fuzz/corpus`` holds the checked-in regressions).
+
+Entry points: ``repro fuzz`` on the command line, :func:`run_fuzz`
+from code.  See ``docs/fuzzing.md`` for the oracle catalog, corpus
+layout, and triage workflow.
+"""
+
+from repro.fuzz.corpus import (
+    FINDING_SCHEMA,
+    load_findings,
+    replay_corpus,
+    replay_finding,
+    save_finding,
+)
+from repro.fuzz.driver import (
+    FUZZ_CONFIG,
+    FuzzResult,
+    generate_subject,
+    run_fuzz,
+)
+from repro.fuzz.oracles import ORACLES, OracleSkip, OracleSpec, oracle_names
+from repro.fuzz.shrinker import ShrinkResult, shrink, weight
+
+__all__ = [
+    "ORACLES",
+    "OracleSkip",
+    "OracleSpec",
+    "oracle_names",
+    "FUZZ_CONFIG",
+    "FuzzResult",
+    "run_fuzz",
+    "generate_subject",
+    "shrink",
+    "ShrinkResult",
+    "weight",
+    "FINDING_SCHEMA",
+    "save_finding",
+    "load_findings",
+    "replay_finding",
+    "replay_corpus",
+]

@@ -1,0 +1,322 @@
+"""Delta-debugging minimization of oracle-violating programs.
+
+Given a subject and a predicate ("this oracle still reports a
+violation"), :func:`shrink` greedily applies syntactic reductions —
+drop a statement from a ``begin``, drop a ``cobegin`` branch, unwrap a
+compound statement to one of its children, replace a statement with
+``skip``, literal-ize an expression — keeping a candidate only when it
+still satisfies the predicate.  The result is *1-minimal* with respect
+to the reduction set: no single remaining reduction preserves the
+violation.
+
+Termination is by a strict weight measure (:func:`weight`): every
+reduction the shrinker can propose strictly decreases it, the measure
+is a positive integer, and a candidate is only accepted when the
+predicate holds — so the accepted-step count is bounded by the initial
+weight regardless of what the predicate does.
+
+Candidates for :class:`~repro.lang.ast.Program` subjects must also
+survive :func:`repro.lang.validate.validate_program`; after the body
+is minimal, declarations whose names the body no longer uses are
+pruned (subject to the same predicate re-check).  A predicate that
+*raises* on a candidate rejects that candidate — crashes during
+shrinking must never accept a program the oracle cannot even process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Union
+
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    Expr,
+    If,
+    IntLit,
+    Program,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarDecl,
+    Wait,
+    While,
+    used_variables,
+)
+from repro.lang.clone import clone_expr, clone_stmt
+from repro.lang.validate import validate_program
+
+Subject = Union[Program, Stmt]
+
+#: Safety valve on predicate evaluations; the weight measure bounds
+#: accepted steps, this bounds *attempted* ones on adversarial inputs.
+DEFAULT_MAX_CHECKS = 10_000
+
+
+def weight(node: Union[Expr, Stmt]) -> int:
+    """The strictly-decreasing termination measure.
+
+    ``skip``, ``0``, ``false`` and ``true`` weigh 1; every other leaf
+    weighs 2 (so literal-izing a variable or zeroing a constant makes
+    progress); interior nodes weigh 2 plus their children.
+    """
+    if isinstance(node, Skip):
+        return 1
+    if isinstance(node, IntLit):
+        return 1 if node.value == 0 else 2
+    if isinstance(node, BoolLit):
+        return 1
+    if isinstance(node, (Var, Wait, Signal)):
+        return 2
+    if isinstance(node, Assign):
+        return 2 + weight(node.expr)
+    if isinstance(node, UnOp):
+        return 2 + weight(node.operand)
+    if isinstance(node, BinOp):
+        return 2 + weight(node.left) + weight(node.right)
+    if isinstance(node, If):
+        total = 2 + weight(node.cond) + weight(node.then_branch)
+        if node.else_branch is not None:
+            total += weight(node.else_branch)
+        return total
+    if isinstance(node, While):
+        return 2 + weight(node.cond) + weight(node.body)
+    if isinstance(node, Begin):
+        return 2 + sum(weight(s) for s in node.body)
+    if isinstance(node, Cobegin):
+        return 2 + sum(weight(s) for s in node.branches)
+    raise TypeError(f"no weight for {type(node).__name__}")
+
+
+def _expr_reductions(expr: Expr) -> Iterator[Expr]:
+    """Strictly smaller replacements for one expression subtree."""
+    if isinstance(expr, BinOp):
+        yield clone_expr(expr.left)
+        yield clone_expr(expr.right)
+        yield IntLit(0)
+    elif isinstance(expr, UnOp):
+        yield clone_expr(expr.operand)
+        yield IntLit(0)
+    elif isinstance(expr, Var):
+        yield IntLit(0)
+    elif isinstance(expr, IntLit):
+        if expr.value != 0:
+            yield IntLit(0)
+    # BoolLit: already minimal for its kind.
+
+
+def _with_expr_reductions(
+    expr: Expr, rebuild: Callable[[Expr], Stmt]
+) -> Iterator[Stmt]:
+    """Every statement obtained by reducing ``expr`` anywhere inside."""
+    for reduced in _expr_candidates(expr):
+        yield rebuild(reduced)
+
+
+def _expr_candidates(expr: Expr) -> Iterator[Expr]:
+    """Reductions of ``expr`` at any depth (whole subtree first)."""
+    yield from _expr_reductions(expr)
+    if isinstance(expr, BinOp):
+        for cand in _expr_candidates(expr.left):
+            yield BinOp(expr.op, cand, clone_expr(expr.right))
+        for cand in _expr_candidates(expr.right):
+            yield BinOp(expr.op, clone_expr(expr.left), cand)
+    elif isinstance(expr, UnOp):
+        for cand in _expr_candidates(expr.operand):
+            yield UnOp(expr.op, cand)
+
+
+def _reductions(stmt: Stmt) -> Iterator[Stmt]:
+    """Whole-subtree replacements for ``stmt``, all strictly lighter."""
+    if isinstance(stmt, Begin):
+        for i in range(len(stmt.body)):
+            rest = stmt.body[:i] + stmt.body[i + 1 :]
+            if not rest:
+                yield Skip()
+            elif len(rest) == 1:
+                yield clone_stmt(rest[0])
+            else:
+                yield Begin([clone_stmt(s) for s in rest])
+        for child in stmt.body:
+            yield clone_stmt(child)
+    elif isinstance(stmt, Cobegin):
+        for i in range(len(stmt.branches)):
+            rest = stmt.branches[:i] + stmt.branches[i + 1 :]
+            if len(rest) == 1:
+                yield clone_stmt(rest[0])
+            elif rest:
+                yield Cobegin([clone_stmt(s) for s in rest])
+        for branch in stmt.branches:
+            yield clone_stmt(branch)
+        yield Skip()
+    elif isinstance(stmt, If):
+        yield clone_stmt(stmt.then_branch)
+        if stmt.else_branch is not None:
+            yield clone_stmt(stmt.else_branch)
+            yield If(
+                clone_expr(stmt.cond), clone_stmt(stmt.then_branch), None
+            )
+        yield Skip()
+    elif isinstance(stmt, While):
+        yield clone_stmt(stmt.body)
+        yield Skip()
+    elif isinstance(stmt, (Assign, Wait, Signal)):
+        yield Skip()
+
+
+def _stmt_candidates(stmt: Stmt) -> Iterator[Stmt]:
+    """All one-reduction rewrites of ``stmt`` (any depth)."""
+    yield from _reductions(stmt)
+    if isinstance(stmt, Assign):
+        yield from _with_expr_reductions(
+            stmt.expr, lambda e: Assign(stmt.target, e)
+        )
+    elif isinstance(stmt, If):
+        yield from _with_expr_reductions(
+            stmt.cond,
+            lambda e: If(
+                e,
+                clone_stmt(stmt.then_branch),
+                clone_stmt(stmt.else_branch) if stmt.else_branch else None,
+            ),
+        )
+        for cand in _stmt_candidates(stmt.then_branch):
+            yield If(
+                clone_expr(stmt.cond),
+                cand,
+                clone_stmt(stmt.else_branch) if stmt.else_branch else None,
+            )
+        if stmt.else_branch is not None:
+            for cand in _stmt_candidates(stmt.else_branch):
+                yield If(
+                    clone_expr(stmt.cond), clone_stmt(stmt.then_branch), cand
+                )
+    elif isinstance(stmt, While):
+        yield from _with_expr_reductions(
+            stmt.cond, lambda e: While(e, clone_stmt(stmt.body))
+        )
+        for cand in _stmt_candidates(stmt.body):
+            yield While(clone_expr(stmt.cond), cand)
+    elif isinstance(stmt, Begin):
+        for i, child in enumerate(stmt.body):
+            for cand in _stmt_candidates(child):
+                parts = [clone_stmt(s) for s in stmt.body]
+                parts[i] = cand
+                yield Begin(parts)
+    elif isinstance(stmt, Cobegin):
+        for i, branch in enumerate(stmt.branches):
+            for cand in _stmt_candidates(branch):
+                parts = [clone_stmt(s) for s in stmt.branches]
+                parts[i] = cand
+                yield Cobegin(parts)
+
+
+def _prune_decls(program: Program) -> Optional[Program]:
+    """The program without declarations its body no longer uses."""
+    keep = used_variables(program.body)
+    decls: List[VarDecl] = []
+    changed = False
+    for decl in program.decls:
+        names = [name for name in decl.names if name in keep]
+        if names == decl.names:
+            decls.append(decl)
+            continue
+        changed = True
+        if names:
+            decls.append(VarDecl(names, decl.kind, decl.initial))
+    if not changed:
+        return None
+    return Program(decls, clone_stmt(program.body), procs=program.procs)
+
+
+@dataclass
+class ShrinkResult:
+    """What :func:`shrink` produced.
+
+    ``iterations`` counts accepted reductions, ``checks`` counts
+    predicate evaluations; ``weight_before``/``weight_after`` show the
+    termination measure's progress.
+    """
+
+    subject: Subject
+    iterations: int
+    checks: int
+    weight_before: int
+    weight_after: int
+
+
+def _body(subject: Subject) -> Stmt:
+    return subject.body if isinstance(subject, Program) else subject
+
+
+def _rebuild(subject: Subject, body: Stmt) -> Subject:
+    if isinstance(subject, Program):
+        return Program(
+            list(subject.decls), body, procs=subject.procs
+        )
+    return body
+
+
+def shrink(
+    subject: Subject,
+    predicate: Callable[[Subject], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ShrinkResult:
+    """Minimize ``subject`` while ``predicate`` keeps holding.
+
+    ``predicate(subject)`` must be true on entry (the caller found a
+    violation); if it is not, the subject is returned unshrunk.  Every
+    accepted step strictly decreases :func:`weight`, and candidates
+    that fail validation, fail the predicate, or make the predicate
+    raise are rejected.
+    """
+    checks = 0
+    iterations = 0
+    before = weight(_body(subject))
+
+    def holds(candidate: Subject) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 - a crashing candidate is rejected
+            return False
+
+    if not holds(subject):
+        return ShrinkResult(subject, 0, checks, before, before)
+
+    current = subject
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        current_weight = weight(_body(current))
+        for candidate_body in _stmt_candidates(_body(current)):
+            if checks >= max_checks:
+                break
+            if weight(candidate_body) >= current_weight:
+                continue
+            candidate = _rebuild(current, candidate_body)
+            if isinstance(candidate, Program) and validate_program(candidate):
+                continue
+            if holds(candidate):
+                current = candidate
+                iterations += 1
+                progress = True
+                break
+    if isinstance(current, Program):
+        pruned = _prune_decls(current)
+        if (
+            pruned is not None
+            and not validate_program(pruned)
+            and holds(pruned)
+        ):
+            current = pruned
+            iterations += 1
+    return ShrinkResult(
+        current, iterations, checks, before, weight(_body(current))
+    )

@@ -29,7 +29,11 @@ behind ``repro batch --metrics out.json``:
 ``service`` (optional)
     present in documents served by a resident ``repro serve`` process:
     request totals, the in-flight gauge, the coalesced-request count,
-    and the in-memory LRU tier's counters (see ``docs/service.md``).
+    and the in-memory LRU tier's counters (see ``docs/service.md``);
+``fuzz`` (optional)
+    present in documents emitted by ``repro fuzz --metrics``: programs
+    generated, oracle checks run / skipped / violated, findings after
+    minimization, and total shrink iterations (see ``docs/fuzzing.md``).
 
 :func:`validate_metrics` is the schema check the test suite and the CI
 degraded-mode smoke job run against emitted documents.
@@ -173,6 +177,7 @@ class MetricsAggregator(TraceEmitter):
         deadline: Optional[float],
         cache: Optional[Dict[str, int]] = None,
         service: Optional[Dict[str, object]] = None,
+        fuzz: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
         """Render the metrics document (see the module docstring).
 
@@ -180,7 +185,8 @@ class MetricsAggregator(TraceEmitter):
         aggregator's whole lifetime even when ``max_items`` has trimmed
         older per-cell records out of ``items``.  ``service`` (counters
         from a resident ``repro serve`` process — requests, in-flight,
-        LRU hits/misses, coalesced) is included verbatim when given.
+        LRU hits/misses, coalesced) is included verbatim when given, as
+        is ``fuzz`` (the differential-fuzzing campaign counters).
         """
         with self._lock:
             items = sorted(
@@ -215,6 +221,8 @@ class MetricsAggregator(TraceEmitter):
         }
         if service is not None:
             document["service"] = dict(service)
+        if fuzz is not None:
+            document["fuzz"] = dict(fuzz)
         return document
 
 
@@ -268,6 +276,17 @@ def validate_metrics(doc: object) -> List[str]:
                         "lru_hits", "lru_misses"):
                 if not isinstance(service.get(key), int):
                     problems.append(f"service.{key} missing or non-integer")
+    if "fuzz" in doc:
+        fuzz = doc["fuzz"]
+        if not isinstance(fuzz, dict):
+            problems.append("section 'fuzz' is not an object")
+        else:
+            for key in ("programs", "checks", "skips", "violations",
+                        "findings", "shrink_iterations"):
+                if not isinstance(fuzz.get(key), int):
+                    problems.append(f"fuzz.{key} missing or non-integer")
+            if not isinstance(fuzz.get("oracles"), dict):
+                problems.append("fuzz.oracles missing or non-object")
     for i, entry in enumerate(doc["items"]):
         if not isinstance(entry, dict):
             problems.append(f"items[{i}] is not an object")

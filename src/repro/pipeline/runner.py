@@ -530,6 +530,7 @@ class WorkerPool:
         pending: List[_Task],
         payloads: List[tuple],
         observer: MetricsAggregator,
+        fn=None,
     ) -> List[dict]:
         """Run one batch of tasks, retrying across worker crashes.
 
@@ -537,10 +538,18 @@ class WorkerPool:
         document never depends on completion order).  When a worker
         dies the broken executor is rebuilt and the unfinished tasks
         are retried up to :data:`MAX_TASK_ATTEMPTS` times.
+
+        ``fn`` is the worker entry point (default :func:`_compute`);
+        it must be a top-level picklable callable taking one payload
+        tuple.  Payload convention: the *last* element is the config
+        dict, so deadline repricing on retry works for any caller
+        (the fuzz driver reuses this pool with its own entry point).
         """
         from concurrent.futures import as_completed
         from concurrent.futures.process import BrokenProcessPool
 
+        if fn is None:
+            fn = _compute
         results: List[Optional[dict]] = [None] * len(payloads)
         attempts = [0] * len(payloads)
         first_submitted: List[Optional[float]] = [None] * len(payloads)
@@ -556,14 +565,11 @@ class WorkerPool:
                     if first_submitted[i] is None:
                         first_submitted[i] = now
                     else:  # a retry: charge the wall-clock already spent
-                        source, kind, analysis, config = payload
-                        payload = (
-                            source,
-                            kind,
-                            analysis,
+                        *head, config = payload
+                        payload = tuple(head) + (
                             _reprice_deadline(config, first_submitted[i], now),
                         )
-                    futures[pool.submit(_compute, payload)] = i
+                    futures[pool.submit(fn, payload)] = i
                     self.submitted += 1
             except (BrokenProcessPool, RuntimeError):
                 # the executor broke under a concurrent run() before we

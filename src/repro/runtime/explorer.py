@@ -42,12 +42,23 @@ from repro.lang.ast import (
     used_variables,
 )
 from repro.runtime.eval import Value
-from repro.runtime.machine import Machine, Pid
+from repro.runtime.machine import VALUE_SKETCH_BITS, Machine, Pid, format_value
 
 #: Outcome statuses.
 COMPLETED = "completed"
 DEADLOCK = "deadlock"
 CUTOFF = "cutoff"
+
+
+def _json_value(value: Value) -> object:
+    """A value as JSON can carry it: huge ints become sketch strings."""
+    if (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and value.bit_length() > VALUE_SKETCH_BITS
+    ):
+        return format_value(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -78,11 +89,21 @@ class Outcome:
         return (self.status, self.store)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON shape: ``{"status": ..., "store": [[name, value], ...]}``."""
-        return {"status": self.status, "store": [list(kv) for kv in self.store]}
+        """JSON shape: ``{"status": ..., "store": [[name, value], ...]}``.
+
+        Integers past :data:`~repro.runtime.machine.VALUE_SKETCH_BITS`
+        become magnitude-sketch strings — ``json.dumps`` shares
+        CPython's int->str digit limit, and a value a bounded loop
+        squared into megadigits would otherwise make the outcome
+        unserializable.
+        """
+        return {
+            "status": self.status,
+            "store": [[k, _json_value(v)] for k, v in self.store],
+        }
 
     def __str__(self) -> str:
-        items = ", ".join(f"{k}={v}" for k, v in self.store)
+        items = ", ".join(f"{k}={format_value(v)}" for k, v in self.store)
         return f"{self.status}({items})"
 
 

@@ -46,6 +46,23 @@ from repro.runtime.eval import Value, evaluate
 
 Pid = Tuple[int, ...]
 
+#: Integers wider than this render as a magnitude sketch instead of
+#: full digits.  CPython refuses int->str conversions past
+#: ``sys.get_int_max_str_digits()`` (default 4300 digits, ~14k bits),
+#: and a bounded loop can square a value past that in ~14 iterations —
+#: so eager ``repr`` in event details would crash a legal program.
+VALUE_SKETCH_BITS = 4096
+
+
+def format_value(value: object) -> str:
+    """Render a store value for traces/serialization in bounded work."""
+    if isinstance(value, int) and not isinstance(value, bool):
+        bits = value.bit_length()
+        if bits > VALUE_SKETCH_BITS:
+            sign = "-" if value < 0 else ""
+            return f"{sign}<int:{bits} bits>"
+    return repr(value)
+
 
 class _PopLocal:
     """Structural marker: leave the innermost branch context."""
@@ -204,7 +221,7 @@ class Machine:
                 self.monitor.on_assign(pid, head.target, head.expr)
             value = evaluate(head.expr, self.store)
             self.store[head.target] = value
-            event = Event(pid, "assign", head, f"{head.target} := {value!r}")
+            event = Event(pid, "assign", head, f"{head.target} := {format_value(value)}")
             self._advance(proc, ())
         elif isinstance(head, Skip):
             event = Event(pid, "skip", head, "skip")

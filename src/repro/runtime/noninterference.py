@@ -93,7 +93,17 @@ def check_noninterference(
     ``variations`` lists assignments to *high* variables (each is
     applied over ``base_store``); varying an observer-visible variable
     is an error, since the property quantifies over low-equal starts.
+    At least two variations are required — with fewer there is nothing
+    to compare and any verdict would be vacuous.
     """
+    if len(variations) < 2:
+        # ``all(...)`` over zero or one projected outcome sets is
+        # vacuously true — a caller passing no variations would get a
+        # meaningless ``holds=True`` without comparing anything.
+        raise CertificationError(
+            "check_noninterference needs at least two low-equal initial "
+            f"stores to compare; got {len(variations)} variation(s)"
+        )
     low_vars = observable_variables(subject, binding, observer)
     for variation in variations:
         touched_low = set(variation) & low_vars

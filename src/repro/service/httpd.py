@@ -36,7 +36,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
-from repro.service.app import AnalysisService, _error_body
+from repro.service.app import MAX_REQUEST_BYTES, AnalysisService, _error_body
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -81,7 +81,21 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
-            self._respond(411, _error_body("bad Content-Length", 411))
+            self._respond(400, _error_body("bad Content-Length", 400))
+            return
+        if length < 0:
+            self._respond(400, _error_body("bad Content-Length", 400))
+            return
+        if length > MAX_REQUEST_BYTES:
+            # Refuse *before* reading: trusting the declared length
+            # here used to block this thread on an arbitrarily large
+            # body a client never even needs to send.
+            self._respond(
+                413,
+                _error_body(
+                    f"request body exceeds {MAX_REQUEST_BYTES} bytes", 413
+                ),
+            )
             return
         raw = self.rfile.read(length) if length > 0 else b""
         status, body = service.analyze_json(raw)

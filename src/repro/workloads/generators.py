@@ -16,6 +16,15 @@ Two generation profiles:
   (deadlock remains possible only when a signal sits under a
   conditional, which the profile also avoids), so they can be run,
   explored exhaustively, and checked for noninterference.
+
+The termination guarantee bounds *step counts*, not *value
+magnitudes*: a bounded loop over ``v := v * v`` doubles ``v``'s bit
+width per iteration, so a run can terminate in a few dozen steps yet
+compute integers far beyond what any consumer can print or serialize
+in reasonable time.  Consumers must treat values as unbounded — the
+machine sketches huge integers when formatting events (see
+:func:`repro.runtime.machine.format_value`), and the fuzzer's
+exploration oracles skip iterated-multiplication subjects outright.
 """
 
 from __future__ import annotations

@@ -1,0 +1,63 @@
+"""The ``repro fuzz`` subcommand."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.fuzz.oracles import oracle_names
+
+CHECKED_IN = str(Path(__file__).parent / "corpus")
+
+
+def test_list_oracles(capsys):
+    code = main(["fuzz", "--list-oracles"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in oracle_names():
+        assert name in out
+
+
+def test_small_campaign_exits_clean(capsys):
+    code = main(["fuzz", "--seeds", "3", "--oracles", "parse-pretty,cert-proof"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "no violations found" in out
+    assert "parse-pretty" in out
+
+
+def test_json_report(capsys):
+    code = main(["fuzz", "--seeds", "2", "--oracles", "parse-pretty", "--json"])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["fuzz"]["seeds"] == 2
+    assert report["fuzz"]["findings"] == 0
+    assert report["findings"] == []
+
+
+def test_metrics_file_is_written_and_valid(tmp_path, capsys):
+    from repro.observe.metrics import validate_metrics
+
+    metrics_path = tmp_path / "metrics.json"
+    code = main(
+        ["fuzz", "--seeds", "2", "--oracles", "parse-pretty",
+         "--metrics", str(metrics_path)]
+    )
+    assert code == 0
+    document = json.loads(metrics_path.read_text())
+    assert validate_metrics(document) == []
+    assert document["fuzz"]["seeds"] == 2
+
+
+def test_replay_checked_in_corpus(capsys):
+    code = main(["fuzz", "--replay", CHECKED_IN])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 unexpected" in out
+    assert "UNEXPECTED" not in out
+
+
+def test_unknown_oracle_is_a_clean_cli_error():
+    import pytest
+
+    with pytest.raises(SystemExit, match="unknown oracle"):
+        main(["fuzz", "--seeds", "1", "--oracles", "bogus"])

@@ -1,0 +1,133 @@
+"""Finding persistence, replay, and the checked-in regression corpus."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    FINDING_SCHEMA,
+    load_findings,
+    replay_corpus,
+    replay_finding,
+    save_finding,
+)
+
+CHECKED_IN = Path(__file__).parent / "corpus"
+
+DEADLOCK_FINDING = {
+    "oracle": "runtime-safe",
+    "seed": 0,
+    "profile": "runtime_safe",
+    "kind": "statement",
+    "source": "cobegin begin wait(a); signal(b) end || "
+    "begin wait(b); signal(a) end coend",
+    "details": {"relation": "runtime-safe programs never deadlock"},
+    "shrink_iterations": 0,
+    "shrink_checks": 0,
+    "config": {"max_states": 2000, "max_depth": 200},
+}
+
+
+def test_save_load_round_trip(tmp_path):
+    path = save_finding(tmp_path, DEADLOCK_FINDING)
+    assert path.name.startswith("runtime-safe--")
+    records = load_findings(tmp_path)
+    assert len(records) == 1
+    record = records[0]
+    assert record["schema"] == FINDING_SCHEMA
+    assert record["expect"] == "violates"
+    assert record["source"] == DEADLOCK_FINDING["source"]
+    assert record["path"] == str(path)
+
+
+def test_saving_the_same_finding_is_idempotent(tmp_path):
+    first = save_finding(tmp_path, DEADLOCK_FINDING)
+    second = save_finding(tmp_path, DEADLOCK_FINDING)
+    assert first == second
+    assert len(list(tmp_path.glob("*.json"))) == 1
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_distinct_findings_get_distinct_files(tmp_path):
+    save_finding(tmp_path, DEADLOCK_FINDING)
+    save_finding(tmp_path, dict(DEADLOCK_FINDING, seed=1))
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_corrupt_corpus_fails_loudly(tmp_path):
+    (tmp_path / "bad-schema.json").write_text(
+        json.dumps({"schema": "nope/9", "oracle": "x", "kind": "y", "source": "z"})
+    )
+    with pytest.raises(ValueError, match="schema"):
+        load_findings(tmp_path)
+
+    for path in tmp_path.glob("*.json"):
+        path.unlink()
+    (tmp_path / "missing-field.json").write_text(
+        json.dumps({"schema": FINDING_SCHEMA, "oracle": "x", "kind": "y"})
+    )
+    with pytest.raises(ValueError, match="source"):
+        load_findings(tmp_path)
+
+
+def test_replay_reproduces_an_open_finding(tmp_path):
+    save_finding(tmp_path, DEADLOCK_FINDING)
+    (result,) = replay_corpus(tmp_path)
+    assert result["outcome"] == "violation"
+    assert result["reproduced"]
+    assert result["expect"] == "violates"
+    assert result["as_expected"]
+
+
+def test_replay_rejects_unknown_oracles():
+    with pytest.raises(ValueError, match="unknown oracle"):
+        replay_finding(dict(DEADLOCK_FINDING, oracle="bogus"))
+
+
+def test_checked_in_regressions_stay_fixed():
+    """Tier-1 replay of ``tests/fuzz/corpus``: every record is a
+    minimized finding from a past campaign, marked ``expect: fixed``,
+    and none of them may reproduce against the current tree."""
+    results = replay_corpus(CHECKED_IN)
+    assert results, "the checked-in corpus must not be empty"
+    for result in results:
+        assert result["as_expected"], (
+            f"{result['path']}: outcome {result['outcome']!r} "
+            f"vs expect {result['expect']!r}"
+        )
+
+
+def test_squaring_regression_explores_and_serializes():
+    """The seed-249 machine crash, asserted directly.
+
+    The campaign oracle now *skips* iterated-multiplication programs
+    (a single bignum multiply cannot be deadline-polled), so the real
+    regression check lives here: the machine must format astronomically
+    large values in bounded work instead of dying on CPython's
+    ``int_max_str_digits`` limit inside ``repr``/``json.dumps``.
+    """
+    from repro.lang.parser import parse_program
+    from repro.runtime.explorer import explore
+
+    (record,) = [
+        r for r in load_findings(CHECKED_IN) if r["oracle"] == "runtime-safe"
+    ]
+    program = parse_program(record["source"])
+    result = explore(program)
+    assert result.complete
+    outcomes = [o.to_dict() for o in result.sorted_outcomes()]
+    text = json.dumps(outcomes)  # must not raise on the 51937-bit value
+    assert "<int:" in text and "bits>" in text
+
+
+def test_format_value_sketches_only_huge_ints():
+    from repro.runtime.machine import VALUE_SKETCH_BITS, format_value
+
+    assert format_value(7) == "7"
+    assert format_value(-3) == "-3"
+    assert format_value(True) == "True"
+    assert format_value(2**VALUE_SKETCH_BITS - 1) == str(2**VALUE_SKETCH_BITS - 1)
+    big = 2**VALUE_SKETCH_BITS
+    assert format_value(big) == f"<int:{VALUE_SKETCH_BITS + 1} bits>"
+    assert format_value(-big) == f"-<int:{VALUE_SKETCH_BITS + 1} bits>"

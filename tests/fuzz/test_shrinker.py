@@ -1,0 +1,139 @@
+"""Shrinker soundness: every accepted step preserves the violation,
+the measure strictly decreases, and shrunken output round-trips."""
+
+import pytest
+
+from repro.fuzz.shrinker import shrink, weight
+from repro.lang import builder as b
+from repro.lang.ast import Cobegin, Program, Wait, iter_nodes, program_size
+from repro.lang.parser import parse_program, parse_statement
+from repro.lang.pretty import pretty
+from repro.lang.validate import validate_program
+from repro.workloads.generators import random_program
+
+
+def _stmt(subject):
+    return subject.body if isinstance(subject, Program) else subject
+
+
+def _has_wait(subject):
+    return any(isinstance(n, Wait) for n in iter_nodes(_stmt(subject)))
+
+
+def test_shrinks_to_the_minimal_wait():
+    s = parse_statement(
+        "begin x := 1; cobegin begin signal(m); y := 2 end || "
+        "begin wait(m); z := x + y end coend; x := x * 2 end"
+    )
+    result = shrink(s, _has_wait)
+    assert _has_wait(result.subject)
+    # 1-minimal: the wait alone (nothing else survives the predicate)
+    assert isinstance(result.subject, Wait)
+    assert result.iterations > 0
+    assert result.weight_after < result.weight_before
+
+
+def test_every_accepted_step_preserves_the_predicate():
+    """The soundness property, observed through an instrumented
+    predicate: the shrinker never *keeps* a candidate the predicate
+    rejected, so each accepted intermediate must satisfy it."""
+    program = random_program(77, size=40, runtime_safe=True)
+    accepted = []
+
+    def predicate(subject):
+        ok = _has_wait(subject) if not isinstance(subject, Wait) else True
+        if ok:
+            accepted.append(subject)
+        return ok
+
+    if not _has_wait(program):
+        pytest.skip("seed has no wait statement")
+    result = shrink(program, predicate)
+    assert _has_wait(result.subject)
+    for subject in accepted:
+        assert _has_wait(subject) or isinstance(subject, Wait)
+
+
+def test_weight_strictly_decreases_along_the_run():
+    program = random_program(31, size=40, runtime_safe=True)
+    weights = []
+
+    def predicate(subject):
+        return True  # everything qualifies: maximal shrinking pressure
+
+    result = shrink(program, predicate)
+    # Full shrink of an always-true predicate reaches a fixed point of
+    # the reduction set: a single skip (weight 1).
+    assert result.weight_after <= 2
+    assert result.weight_after < result.weight_before
+    assert program_size(result.subject.body) <= 2
+
+
+@pytest.mark.parametrize("seed", [0, 1, 8, 13, 26])
+def test_shrunk_output_round_trips_and_validates(seed):
+    """parse -> pretty -> parse is a fixpoint on shrunken programs,
+    and the program stays structurally valid (declarations intact)."""
+    program = random_program(seed, size=35, runtime_safe=(seed % 2 == 0))
+
+    def predicate(subject):
+        return program_size(_stmt(subject)) >= 3
+
+    if not predicate(program):
+        pytest.skip("seed generates a program below the size threshold")
+    result = shrink(program, predicate)
+    assert predicate(result.subject)
+    assert validate_program(result.subject) == []
+    text = pretty(result.subject)
+    assert pretty(parse_program(text)) == text
+
+
+def test_predicate_exceptions_reject_the_candidate():
+    s = parse_statement("begin x := 1; y := 2; wait(m) end")
+
+    def predicate(subject):
+        if not _has_wait(subject):
+            raise RuntimeError("boom")  # must count as rejection
+        return True
+
+    result = shrink(s, predicate)
+    assert _has_wait(result.subject)
+
+
+def test_unshrinkable_input_is_returned_as_is():
+    s = parse_statement("skip")
+    result = shrink(s, lambda subject: True)
+    assert pretty(result.subject) == "skip"
+    assert result.iterations == 0
+
+
+def test_false_on_entry_returns_unshrunk():
+    s = parse_statement("begin x := 1; y := 2 end")
+    result = shrink(s, lambda subject: False)
+    assert result.subject is s
+    assert result.iterations == 0
+
+
+def test_cobegin_never_shrinks_to_zero_branches():
+    s = b.cobegin(b.assign("x", b.lit(1)), b.assign("y", b.lit(2)))
+
+    def predicate(subject):
+        return isinstance(subject, Cobegin)
+
+    result = shrink(s, predicate)
+    assert isinstance(result.subject, Cobegin)
+    assert len(result.subject.branches) >= 1
+
+
+def test_unused_declarations_are_pruned():
+    program = parse_program(
+        "var x, unused : integer; s : semaphore;\nx := 1"
+    )
+
+    def predicate(subject):
+        return True
+
+    result = shrink(program, predicate)
+    assert validate_program(result.subject) == []
+    declared = result.subject.declared()
+    assert "unused" not in declared
+    assert "s" not in declared

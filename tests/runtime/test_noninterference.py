@@ -102,5 +102,15 @@ def test_four_level_intermediate_observer():
 def test_result_repr(scheme):
     s = parse_statement("x := 1")
     b = StaticBinding(scheme, {"x": "low", "h": "high"})
-    result = check_noninterference(s, b, "low", [{"h": 0}])
+    result = check_noninterference(s, b, "low", [{"h": 0}, {"h": 1}])
     assert "holds=True" in repr(result)
+
+
+def test_fewer_than_two_variations_is_an_error(scheme):
+    """Regression: ``[]`` or ``[one]`` used to return a vacuous
+    ``holds=True`` without comparing anything."""
+    s = parse_statement("y := h")
+    b = StaticBinding(scheme, {"y": "low", "h": "high"})
+    for variations in ([], [{"h": 7}]):
+        with pytest.raises(CertificationError, match="at least two"):
+            check_noninterference(s, b, "low", variations)

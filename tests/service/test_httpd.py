@@ -89,6 +89,48 @@ def test_http_roundtrip_health_metrics_and_clean_exit():
         assert proc.wait(timeout=30) == 0
 
 
+def test_content_length_abuse_is_rejected_before_reading():
+    """Regression: the handler used to trust ``Content-Length`` and
+    block on ``rfile.read(length)`` for an arbitrarily large declared
+    body.  Garbage and negative lengths are clean 400s, oversized
+    declarations a clean 413 — all decided from the header alone,
+    before any body bytes exist."""
+    import http.client
+
+    from repro.service.app import MAX_REQUEST_BYTES
+
+    proc, base = start_server("--jobs", "1")
+    host_port = base.split("//", 1)[1]
+    try:
+        cases = [
+            ("not-a-number", 400),
+            ("-5", 400),
+            (str(MAX_REQUEST_BYTES + 1), 413),
+            (str(10**12), 413),
+        ]
+        for declared, expected in cases:
+            conn = http.client.HTTPConnection(host_port, timeout=30)
+            try:
+                conn.putrequest("POST", "/analyze")
+                conn.putheader("Content-Type", "application/json")
+                conn.putheader("Content-Length", declared)
+                conn.endheaders()
+                # No body is ever sent: the response must come from the
+                # header alone, not from a read that would block.
+                response = conn.getresponse()
+                assert response.status == expected, (declared, response.status)
+                body = json.loads(response.read())
+                assert body["status"] == expected and body["error"]
+            finally:
+                conn.close()
+        # the server survived all of it
+        status, health = get_json(f"{base}/healthz")
+        assert (status, health["status"]) == (200, "ok")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+
 def test_sigterm_drains_the_inflight_request():
     proc, base = start_server("--jobs", "1")
     outcome = {}

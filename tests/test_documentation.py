@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.staticlint",
     "repro.pipeline",
     "repro.service",
+    "repro.fuzz",
 ]
 
 
