@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables bench-pipeline bench-fuzz fuzz examples lint-smoke all
+.PHONY: install test bench bench-tables bench-pipeline bench-fuzz bench-cert fuzz examples lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +24,10 @@ bench-pipeline:
 # Fuzz throughput benchmark with quality gates -> BENCH_fuzz.json.
 bench-fuzz:
 	$(PYTHON) benchmarks/bench_fuzz.py
+
+# Fused-certifier identity + throughput gates -> BENCH_cert.json.
+bench-cert:
+	$(PYTHON) benchmarks/bench_cert.py
 
 # A real differential fuzzing campaign (docs/fuzzing.md).
 fuzz:

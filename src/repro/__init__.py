@@ -56,7 +56,7 @@ from repro.runtime import (
     run,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

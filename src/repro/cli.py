@@ -454,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable partial-order reduction in the explore analysis",
     )
     sub.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the fused certifier fast path (run the reference "
+        "cert/denning/lint analyzers directly)",
+    )
+    sub.add_argument(
         "--metrics",
         metavar="FILE",
         help="write the run's metrics document (schema repro-metrics/1) "
@@ -546,6 +552,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: v0, a variable the generator emits)",
     )
     _add_budget_flags(sub, max_states_default=8_000, max_depth_default=600)
+    sub.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the fused certifier fast path in policy oracles",
+    )
 
     sub = subs.add_parser(
         "serve",
@@ -598,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-request wall-clock budget for requests that "
         "set none; exhausting it degrades the result, never errors",
+    )
+    sub.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable the fused certifier fast path for every request",
     )
     sub.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
@@ -772,6 +788,7 @@ def _cmd_batch(args) -> int:
         "max_depth": args.max_depth,
         "por": not args.no_por,
         "deadline": args.deadline,
+        "fastpath": not args.no_fastpath,
     }
     trace = None
     if args.trace:
@@ -862,6 +879,7 @@ def _cmd_serve(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         lru_capacity=0 if args.no_cache else args.lru_size,
         default_deadline=args.deadline,
+        default_config={"fastpath": False} if args.no_fastpath else None,
     )
     return serve(
         service, host=args.host, port=args.port, quiet=args.quiet
@@ -905,6 +923,7 @@ def _cmd_fuzz(args) -> int:
         "high": _split_codes([args.high]),
         "max_states": args.max_states,
         "max_depth": args.max_depth,
+        "fastpath": not args.no_fastpath,
     }
     try:
         result = run_fuzz(

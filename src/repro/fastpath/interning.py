@@ -1,0 +1,350 @@
+"""Interned lattices: security classes as small ints, operations as O(1).
+
+The reference :class:`~repro.lattice.base.Lattice` operations validate
+their operands on every call (``check`` raises on foreign elements) and
+dispatch through Python objects — frozensets for powersets, tuples for
+products.  Certification performs thousands of joins/meets per corpus,
+so the fast path *interns* each scheme once: every element gets an id in
+``0..n-1`` and the operations become integer arithmetic:
+
+=====================  =============================================
+scheme                 representation
+=====================  =============================================
+chains                 id = rank; join/meet are ``max``/``min``
+powersets              id = category bitmask; join/meet are ``|``/``&``
+products               id = mixed-radix packing of component ids
+extended (Definition 4) base ids plus one extra id for ``nil``
+anything finite        precomputed n x n join/meet tables
+=====================  =============================================
+
+Every interned lattice agrees with its base lattice pointwise — the
+property tests in ``tests/fastpath/test_interning.py`` sweep encode/
+decode round-trips, pointwise join/meet/leq agreement, and the lattice
+axioms (commutativity, associativity, absorption, identities) over
+seeded random element pairs for all of the shapes above.
+
+Interning is a *construction-time* cost (linear to quadratic in the
+carrier); :func:`intern_lattice` results are therefore cached by the
+engine, one per scheme.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ElementError, LatticeError
+from repro.lattice.base import Element, Lattice
+from repro.lattice.chain import ChainLattice
+from repro.lattice.extended import NIL, ExtendedLattice
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import ProductLattice
+
+#: Largest carrier the generic table representation will precompute
+#: (n x n int tables); larger lattices need a structural representation.
+TABLE_LIMIT = 1024
+
+
+class InternedLattice:
+    """Base class: a finite lattice with elements renamed to ``0..n-1``.
+
+    Subclasses implement :meth:`join`, :meth:`meet` and :meth:`leq` over
+    ids; :meth:`encode`/:meth:`decode` translate to and from the base
+    lattice's elements.  ``top`` and ``bottom`` are ids.
+    """
+
+    base: Lattice
+    n: int
+    top: int
+    bottom: int
+
+    def encode(self, element: Element) -> int:
+        """The id of ``element``; raises :class:`ElementError` if foreign."""
+        raise NotImplementedError
+
+    def decode(self, i: int) -> Element:
+        """The base-lattice element with id ``i``."""
+        raise NotImplementedError
+
+    def join(self, i: int, j: int) -> int:
+        """Least upper bound, by id."""
+        raise NotImplementedError
+
+    def meet(self, i: int, j: int) -> int:
+        """Greatest lower bound, by id."""
+        raise NotImplementedError
+
+    def leq(self, i: int, j: int) -> bool:
+        """Order test, by id."""
+        raise NotImplementedError
+
+    def _check_id(self, i: int) -> int:
+        if not isinstance(i, int) or not 0 <= i < self.n:
+            raise ElementError(f"{i!r} is not an element id of {self.base.name}")
+        return i
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} over {self.base.name!r}, {self.n} ids>"
+
+
+class ChainInterned(InternedLattice):
+    """A chain interned by rank: join is ``max``, meet is ``min``."""
+
+    def __init__(self, base: ChainLattice):
+        self.base = base
+        self._labels = base.labels
+        self._rank = {label: i for i, label in enumerate(self._labels)}
+        self.n = len(self._labels)
+        self.bottom = 0
+        self.top = self.n - 1
+
+    def encode(self, element: Element) -> int:
+        try:
+            return self._rank[element]
+        except (KeyError, TypeError):
+            raise ElementError(
+                f"{element!r} is not an element of {self.base.name}"
+            ) from None
+
+    def decode(self, i: int) -> Element:
+        return self._labels[self._check_id(i)]
+
+    def join(self, i: int, j: int) -> int:
+        return i if i >= j else j
+
+    def meet(self, i: int, j: int) -> int:
+        return i if i <= j else j
+
+    def leq(self, i: int, j: int) -> bool:
+        return i <= j
+
+
+class PowersetInterned(InternedLattice):
+    """A powerset interned as category bitmasks: join ``|``, meet ``&``."""
+
+    def __init__(self, base: PowersetLattice):
+        self.base = base
+        self._categories: Tuple[str, ...] = tuple(sorted(base.universe))
+        self._bit = {cat: 1 << k for k, cat in enumerate(self._categories)}
+        self.n = 1 << len(self._categories)
+        self.bottom = 0
+        self.top = self.n - 1
+
+    def encode(self, element: Element) -> int:
+        try:
+            mask = 0
+            for cat in element:
+                mask |= self._bit[cat]
+            return mask
+        except (KeyError, TypeError):
+            raise ElementError(
+                f"{element!r} is not an element of {self.base.name}"
+            ) from None
+
+    def decode(self, i: int) -> Element:
+        self._check_id(i)
+        return frozenset(
+            cat for k, cat in enumerate(self._categories) if i >> k & 1
+        )
+
+    def join(self, i: int, j: int) -> int:
+        return i | j
+
+    def meet(self, i: int, j: int) -> int:
+        return i & j
+
+    def leq(self, i: int, j: int) -> bool:
+        return i | j == j
+
+
+class ProductInterned(InternedLattice):
+    """A product interned by mixed-radix packing of component ids.
+
+    ``id = c0 + c1*n0 + c2*n0*n1 + ...`` — componentwise operations
+    unpack with ``divmod``.  Small products are better served by
+    :class:`TableInterned` (the factory prefers it); this representation
+    exists for products whose carrier exceeds :data:`TABLE_LIMIT`.
+    """
+
+    def __init__(self, base: ProductLattice):
+        self.base = base
+        self._parts: List[InternedLattice] = [
+            intern_lattice(component) for component in base.components
+        ]
+        self.n = 1
+        for part in self._parts:
+            self.n *= part.n
+        self.top = self._pack([part.top for part in self._parts])
+        self.bottom = self._pack([part.bottom for part in self._parts])
+
+    def _pack(self, ids: List[int]) -> int:
+        packed = 0
+        for part, i in zip(reversed(self._parts), reversed(ids)):
+            packed = packed * part.n + i
+        return packed
+
+    def _unpack(self, i: int) -> List[int]:
+        out = []
+        for part in self._parts:
+            i, rem = divmod(i, part.n)
+            out.append(rem)
+        return out
+
+    def encode(self, element: Element) -> int:
+        if not isinstance(element, tuple) or len(element) != len(self._parts):
+            raise ElementError(
+                f"{element!r} is not an element of {self.base.name}"
+            )
+        return self._pack(
+            [part.encode(coord) for part, coord in zip(self._parts, element)]
+        )
+
+    def decode(self, i: int) -> Element:
+        self._check_id(i)
+        return tuple(
+            part.decode(coord)
+            for part, coord in zip(self._parts, self._unpack(i))
+        )
+
+    def join(self, i: int, j: int) -> int:
+        return self._pack(
+            [
+                part.join(a, b)
+                for part, a, b in zip(self._parts, self._unpack(i), self._unpack(j))
+            ]
+        )
+
+    def meet(self, i: int, j: int) -> int:
+        return self._pack(
+            [
+                part.meet(a, b)
+                for part, a, b in zip(self._parts, self._unpack(i), self._unpack(j))
+            ]
+        )
+
+    def leq(self, i: int, j: int) -> bool:
+        return all(
+            part.leq(a, b)
+            for part, a, b in zip(self._parts, self._unpack(i), self._unpack(j))
+        )
+
+
+class ExtendedInterned(InternedLattice):
+    """Definition 4 over an interned base: ``nil`` gets the one extra id.
+
+    Base elements keep their ids; ``nil`` is ``id == base.n``.  Join
+    treats ``nil`` as identity, meet as absorbing, and ``nil <= x`` for
+    every ``x`` — exactly :class:`~repro.lattice.extended.ExtendedLattice`.
+    """
+
+    def __init__(self, base: ExtendedLattice):
+        self.base = base
+        self._inner = intern_lattice(base.base)
+        self.nil = self._inner.n
+        self.n = self._inner.n + 1
+        self.top = self._inner.top
+        self.bottom = self.nil
+
+    def encode(self, element: Element) -> int:
+        if self.base.is_nil(element):
+            return self.nil
+        return self._inner.encode(element)
+
+    def decode(self, i: int) -> Element:
+        self._check_id(i)
+        return NIL if i == self.nil else self._inner.decode(i)
+
+    def join(self, i: int, j: int) -> int:
+        if i == self.nil:
+            return j
+        if j == self.nil:
+            return i
+        return self._inner.join(i, j)
+
+    def meet(self, i: int, j: int) -> int:
+        if i == self.nil or j == self.nil:
+            return self.nil
+        return self._inner.meet(i, j)
+
+    def leq(self, i: int, j: int) -> bool:
+        if i == self.nil:
+            return True
+        if j == self.nil:
+            return False
+        return self._inner.leq(i, j)
+
+
+class TableInterned(InternedLattice):
+    """Any finite lattice, with n x n join/meet tables and leq bitrows.
+
+    Elements are ordered deterministically by ``repr`` (the same order
+    :class:`~repro.lattice.product.ProductLattice` materializes its
+    carrier in), the tables are flat lists indexed ``i * n + j``, and
+    ``leq`` reads one bit of a per-row bitmask — three O(1) operations
+    regardless of the base lattice's own cost model.
+    """
+
+    def __init__(self, base: Lattice):
+        elements = sorted(base.elements, key=repr)
+        n = len(elements)
+        if n > TABLE_LIMIT:
+            raise LatticeError(
+                f"{base.name}: carrier of {n} exceeds the table limit "
+                f"({TABLE_LIMIT}); use a structural interning"
+            )
+        self.base = base
+        self.n = n
+        self._elements = elements
+        self._ids = {element: i for i, element in enumerate(elements)}
+        join_table = [0] * (n * n)
+        meet_table = [0] * (n * n)
+        up_rows = [0] * n
+        for i, a in enumerate(elements):
+            for j, b in enumerate(elements):
+                join_table[i * n + j] = self._ids[base.join(a, b)]
+                meet_table[i * n + j] = self._ids[base.meet(a, b)]
+                if base.leq(a, b):
+                    up_rows[i] |= 1 << j
+        self._join = join_table
+        self._meet = meet_table
+        self._up = up_rows
+        self.top = self._ids[base.top]
+        self.bottom = self._ids[base.bottom]
+
+    def encode(self, element: Element) -> int:
+        try:
+            return self._ids[element]
+        except (KeyError, TypeError):
+            raise ElementError(
+                f"{element!r} is not an element of {self.base.name}"
+            ) from None
+
+    def decode(self, i: int) -> Element:
+        return self._elements[self._check_id(i)]
+
+    def join(self, i: int, j: int) -> int:
+        return self._join[i * self.n + j]
+
+    def meet(self, i: int, j: int) -> int:
+        return self._meet[i * self.n + j]
+
+    def leq(self, i: int, j: int) -> bool:
+        return bool(self._up[i] >> j & 1)
+
+
+def intern_lattice(lattice: Lattice) -> InternedLattice:
+    """The cheapest faithful interning of ``lattice``.
+
+    Chains, powersets and the extended scheme get structural
+    representations (no tables to build); products fall back to
+    mixed-radix packing only when their carrier would blow the table
+    limit; everything else gets :class:`TableInterned`.
+    """
+    if isinstance(lattice, ChainLattice):
+        return ChainInterned(lattice)
+    if isinstance(lattice, PowersetLattice):
+        return PowersetInterned(lattice)
+    if isinstance(lattice, ExtendedLattice):
+        return ExtendedInterned(lattice)
+    if isinstance(lattice, ProductLattice) and len(lattice.elements) > TABLE_LIMIT:
+        return ProductInterned(lattice)
+    return TableInterned(lattice)

@@ -1,0 +1,176 @@
+"""Hash-consed array-of-structs IR for the fused certifier.
+
+The reference analyzers walk the dataclass AST, whose nodes have
+*identity* equality (deliberately — program points carry facts).  The
+fused sweep does not need program points: the registry's cert/denning
+result dicts are location-free aggregates (check counts plus sorted
+rule names), so two structurally identical subtrees always produce
+identical contributions.  Lowering therefore *hash-conses*: every
+statement becomes a small tuple row interned in a :class:`NodeStore`,
+and structurally identical subtrees — within one program or across an
+entire corpus — share a single node id.
+
+Rows are interned bottom-up, so a row's child ids are always smaller
+than its own id.  That invariant is what makes the fused evaluation a
+single linear sweep: collect the not-yet-memoized ids under a root,
+sort ascending, and every child record is ready before its parent
+needs it.
+
+Expressions are flattened to their variable-name sets on the way in:
+``sbind(e)`` is the join of the classes of ``e``'s variables (constants
+contribute the identity ``low``), and join is associative, commutative
+and idempotent, so the sorted unique name tuple is a complete summary.
+
+Source locations are deliberately **excluded** from rows — that is the
+point of the sharing.  Anything whose output mentions locations (the
+lint diagnostics) must key on a separate location signature; see
+``repro.fastpath.engine``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from repro.lang.ast import (
+    Assign,
+    Begin,
+    BinOp,
+    BoolLit,
+    Cobegin,
+    Expr,
+    If,
+    IntLit,
+    Signal,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    Wait,
+    While,
+)
+
+#: Row kind tags (first element of every row tuple).
+K_ASSIGN = 0
+K_SKIP = 1
+K_WAIT = 2
+K_SIGNAL = 3
+K_IF = 4
+K_WHILE = 5
+K_BEGIN = 6
+K_COBEGIN = 7
+
+#: "No else branch" / "no flow" sentinel for child-id slots.
+NO_NODE = -1
+
+Row = Tuple
+
+
+class Unsupported(Exception):
+    """Raised by :func:`lower` on AST shapes the fast path does not model.
+
+    The engine converts this into a ``None`` return, which the registry
+    treats as "run the reference implementation" — unsupported input is
+    a fallback, never an error.
+    """
+
+
+class NodeStore:
+    """An append-only intern table of IR rows: ``row <-> nid``.
+
+    ``rows[nid]`` is the row tuple; :attr:`index` maps a row back to its
+    id.  Interning is guarded by a lock so concurrent service threads
+    cannot assign two ids to one row; lookups of already-interned rows
+    stay lock-free on the dict fast path.
+    """
+
+    def __init__(self) -> None:
+        self.rows: List[Row] = []
+        self.index: Dict[Row, int] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def intern(self, row: Row) -> int:
+        """The id of ``row``, assigning the next id on first sight."""
+        nid = self.index.get(row)
+        if nid is not None:
+            return nid
+        with self._lock:
+            nid = self.index.get(row)
+            if nid is None:
+                nid = len(self.rows)
+                self.rows.append(row)
+                self.index[row] = nid
+            return nid
+
+    def clear(self) -> None:
+        """Drop every row.  Callers must also drop anything keyed by nid."""
+        with self._lock:
+            self.rows.clear()
+            self.index.clear()
+
+
+def expr_signature(expr: Expr) -> Tuple[str, ...]:
+    """Sorted unique variable names of ``expr`` — its complete sbind summary."""
+    names = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, (IntLit, BoolLit)):
+            pass
+        elif isinstance(node, UnOp):
+            stack.append(node.operand)
+        elif isinstance(node, BinOp):
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            raise Unsupported(f"unknown expression node {type(node).__name__}")
+    return tuple(sorted(names))
+
+
+def lower(stmt: Stmt, store: NodeStore) -> int:
+    """Intern ``stmt``'s subtree into ``store``; return the root nid.
+
+    Raises :class:`Unsupported` on statement or expression forms outside
+    the paper's core language (anything the reference analyzers would
+    need to see themselves).
+    """
+    if isinstance(stmt, Assign):
+        row: Row = (K_ASSIGN, stmt.target, expr_signature(stmt.expr))
+    elif isinstance(stmt, Skip):
+        row = (K_SKIP,)
+    elif isinstance(stmt, Wait):
+        row = (K_WAIT, stmt.sem)
+    elif isinstance(stmt, Signal):
+        row = (K_SIGNAL, stmt.sem)
+    elif isinstance(stmt, If):
+        then_nid = lower(stmt.then_branch, store)
+        else_nid = (
+            NO_NODE if stmt.else_branch is None else lower(stmt.else_branch, store)
+        )
+        row = (K_IF, expr_signature(stmt.cond), then_nid, else_nid)
+    elif isinstance(stmt, While):
+        row = (K_WHILE, expr_signature(stmt.cond), lower(stmt.body, store))
+    elif isinstance(stmt, Begin):
+        row = (K_BEGIN, tuple(lower(child, store) for child in stmt.body))
+    elif isinstance(stmt, Cobegin):
+        row = (K_COBEGIN, tuple(lower(branch, store) for branch in stmt.branches))
+    else:
+        raise Unsupported(f"unknown statement node {type(stmt).__name__}")
+    return store.intern(row)
+
+
+def child_nids(row: Row) -> Tuple[int, ...]:
+    """The nid slots of ``row`` (excluding :data:`NO_NODE`)."""
+    kind = row[0]
+    if kind == K_IF:
+        return (row[2],) if row[3] == NO_NODE else (row[2], row[3])
+    if kind == K_WHILE:
+        return (row[2],)
+    if kind in (K_BEGIN, K_COBEGIN):
+        return row[1]
+    return ()

@@ -13,6 +13,11 @@ Each :class:`OracleSpec` encodes one such metamorphic relation as a
 
 The catalog (paper sections in :attr:`OracleSpec.paper`):
 
+``cert-equiv``
+    §6's linear-pass claim, made safe: the fused single-sweep
+    certifier (:mod:`repro.fastpath`) must produce *dict-identical*
+    cert, denning (both concurrency modes), and memoized lint results
+    to the reference analyzers on every generated program.
 ``cert-proof``
     Theorems 1–2: ``certify(S).certified`` iff a flow proof can be
     generated, checks out, is completely invariant, and re-certifies
@@ -143,6 +148,71 @@ def _value_blowup_risk(subject: Subject) -> bool:
         for node in iter_nodes(stmt)
         if isinstance(node, While)
     )
+
+
+def _check_cert_equiv(subject: Subject, config: dict):
+    from repro.fastpath import (
+        fused_cert,
+        fused_denning,
+        lint_memo_get,
+        lint_memo_put,
+    )
+    from repro.pipeline.analyses import (
+        _reference_cert,
+        _reference_denning,
+        _reference_lint,
+    )
+
+    if not config.get("fastpath", True):
+        return OracleSkip("fast path disabled by config")
+
+    fast = fused_cert(subject, config)
+    if fast is None:
+        # Generated programs are core-language; a decline here would
+        # itself be surprising, but it is a coverage gap, not a lie.
+        return OracleSkip("fast path declined the subject")
+    ref = _reference_cert(subject, config)
+    if fast != ref:
+        return {
+            "relation": "fused cert == reference cert",
+            "fused": fast,
+            "reference": ref,
+        }
+
+    for mode in ("ignore", "reject"):
+        mode_config = dict(config, on_concurrency=mode)
+        fast_d = fused_denning(subject, mode_config)
+        if fast_d is None:
+            return OracleSkip("fast path declined the subject")
+        ref_d = _reference_denning(subject, mode_config)
+        if fast_d != ref_d:
+            return {
+                "relation": "fused denning == reference denning",
+                "on_concurrency": mode,
+                "fused": fast_d,
+                "reference": ref_d,
+            }
+
+    # The lint memo: a pre-existing entry must already agree with the
+    # reference, and a fresh put must replay dict-identically (this is
+    # the memo-hit path ``repro batch`` takes on repeated subjects).
+    ref_lint = _reference_lint(subject, config)
+    cached = lint_memo_get(subject, config)
+    if cached is not None and cached != ref_lint:
+        return {
+            "relation": "memoized lint == reference lint",
+            "fused": cached,
+            "reference": ref_lint,
+        }
+    lint_memo_put(subject, config, ref_lint)
+    replayed = lint_memo_get(subject, config)
+    if replayed != ref_lint:
+        return {
+            "relation": "lint memo round-trips dict-identically",
+            "fused": replayed,
+            "reference": ref_lint,
+        }
+    return None
 
 
 def _check_cert_proof(subject: Subject, config: dict):
@@ -388,6 +458,13 @@ def _check_runtime_safe(subject: Subject, config: dict):
 ORACLES: Dict[str, OracleSpec] = {
     spec.name: spec
     for spec in (
+        OracleSpec(
+            "cert-equiv",
+            "fused fast-path certifier agrees with the reference analyzers",
+            "section 6",
+            PROFILES,
+            _check_cert_equiv,
+        ),
         OracleSpec(
             "cert-proof",
             "certification iff a valid, completely invariant flow proof",

@@ -50,6 +50,11 @@ DEFAULT_CONFIG: Dict[str, object] = {
     #: Hitting it returns a partial result flagged ``degraded`` — see
     #: ``docs/observability.md`` for the degradation contract.
     "deadline": None,
+    #: Use the fused single-sweep certifier (``repro.fastpath``) for
+    #: ``cert``/``denning``/``lint``.  Byte-identical to the reference
+    #: implementation by contract, so deliberately **not** part of any
+    #: analysis's ``config_keys`` — toggling it must not re-key caches.
+    "fastpath": True,
 }
 
 _SCHEMES = {
@@ -80,7 +85,11 @@ def _binding(subject: Subject, config: dict):
     return StaticBinding(scheme, classes)
 
 
-def _run_cert(subject: Subject, config: dict) -> dict:
+def _fastpath_enabled(config: dict) -> bool:
+    return bool(config.get("fastpath", True))
+
+
+def _reference_cert(subject: Subject, config: dict) -> dict:
     from repro.core.cfm import certify
 
     report = certify(subject, _binding(subject, config))
@@ -93,7 +102,20 @@ def _run_cert(subject: Subject, config: dict) -> dict:
     }
 
 
-def _run_denning(subject: Subject, config: dict) -> dict:
+def _run_cert(subject: Subject, config: dict) -> dict:
+    if _fastpath_enabled(config):
+        from repro.fastpath import fused_cert
+
+        fast = fused_cert(subject, config)
+        if fast is not None:
+            return fast
+    # Single reference call site: declined-fast-path and disabled-fast-
+    # path runs raise through identical frames (error records embed
+    # tracebacks, and ``fastpath`` is not part of the cache key).
+    return _reference_cert(subject, config)
+
+
+def _reference_denning(subject: Subject, config: dict) -> dict:
     from repro.core.denning import certify_denning
 
     report = certify_denning(
@@ -107,6 +129,16 @@ def _run_denning(subject: Subject, config: dict) -> dict:
         "violations": sorted({c.rule for c in report.violations}),
         "unsupported": len(report.unsupported),
     }
+
+
+def _run_denning(subject: Subject, config: dict) -> dict:
+    if _fastpath_enabled(config):
+        from repro.fastpath import fused_denning
+
+        fast = fused_denning(subject, config)
+        if fast is not None:
+            return fast
+    return _reference_denning(subject, config)
 
 
 def _run_fs(subject: Subject, config: dict) -> dict:
@@ -137,7 +169,7 @@ def _run_prove(subject: Subject, config: dict) -> dict:
     }
 
 
-def _run_lint(subject: Subject, config: dict) -> dict:
+def _reference_lint(subject: Subject, config: dict) -> dict:
     from repro.staticlint import run_lint
 
     result = run_lint(subject, binding=_binding(subject, config))
@@ -147,6 +179,25 @@ def _run_lint(subject: Subject, config: dict) -> dict:
         # filter_diagnostics already sorts by Diagnostic.sort_key.
         "diagnostics": [d.to_dict() for d in result.diagnostics],
     }
+
+
+def _run_lint(subject: Subject, config: dict) -> dict:
+    # Lint diagnostics carry source spans, so the fast path memoizes the
+    # reference result whole-program (keyed by structure + locations)
+    # rather than re-deriving it: one dict assembly, zero divergence.
+    use_fast = _fastpath_enabled(config)
+    if use_fast:
+        from repro.fastpath import lint_memo_get
+
+        cached = lint_memo_get(subject, config)
+        if cached is not None:
+            return cached
+    result = _reference_lint(subject, config)
+    if use_fast:
+        from repro.fastpath import lint_memo_put
+
+        lint_memo_put(subject, config, result)
+    return result
 
 
 def _run_explore(subject: Subject, config: dict) -> dict:

@@ -153,10 +153,17 @@ class PipelineResult:
         self.metrics = dict(metrics or {})
 
     def to_dict(self) -> dict:
-        """The deterministic result document (no timings, no counters)."""
+        """The deterministic result document (no timings, no counters).
+
+        ``fastpath`` is an execution-strategy knob with a byte-identity
+        contract (like ``jobs`` or caching, which are also not part of
+        the document): toggling it must not change a single byte, so it
+        is excluded from the config echo.
+        """
+        echoed = {k: self.config[k] for k in sorted(self.config) if k != "fastpath"}
         return {
             "analyses": list(self.analyses),
-            "config": {k: self.config[k] for k in sorted(self.config)},
+            "config": echoed,
             "programs": self.programs,
             "version": repro.__version__,
         }

@@ -85,6 +85,9 @@ class AnalysisService:
     tier, ``lru_capacity=0`` the memory tier; with both disabled every
     request recomputes.  ``default_deadline`` applies to requests that
     do not set ``config.deadline`` themselves (``None`` = unlimited).
+    ``default_config`` entries back-fill request configs the same way
+    (per-request values always win) — ``repro serve --no-fastpath``
+    passes ``{"fastpath": False}`` through it.
     """
 
     def __init__(
@@ -93,11 +96,13 @@ class AnalysisService:
         cache_dir: Optional[str] = None,
         lru_capacity: int = 4096,
         default_deadline: Optional[float] = None,
+        default_config: Optional[dict] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.default_deadline = default_deadline
+        self.default_config = dict(default_config or {})
         self.pool: Optional[WorkerPool] = WorkerPool(jobs) if jobs > 1 else None
         disk = ResultCache(cache_dir) if cache_dir else None
         if disk is None and lru_capacity == 0:
@@ -249,6 +254,8 @@ class AnalysisService:
             config["deadline"] = request["deadline"]
         if "deadline" not in config and self.default_deadline is not None:
             config["deadline"] = self.default_deadline
+        for key, value in self.default_config.items():
+            config.setdefault(key, value)
 
         if "programs" in request:
             if "program" in request:

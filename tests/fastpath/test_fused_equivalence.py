@@ -1,0 +1,184 @@
+"""Direct fused-vs-reference agreement, plus the fallback contract.
+
+The golden differential test pins the *pipeline* output; this file
+drives the engine entry points themselves — over the named corpora,
+seeded generator output in both profiles, every scheme, both Denning
+modes — and checks the decline/fallback behavior that keeps the fast
+path a pure optimization.
+"""
+
+import pytest
+
+from repro.fastpath import (
+    cache_stats,
+    clear_caches,
+    fused_cert,
+    fused_denning,
+    lint_memo_get,
+    lint_memo_put,
+)
+from repro.lang.builder import assign
+from repro.lang.parser import parse_program, parse_statement
+from repro.pipeline.analyses import (
+    DEFAULT_CONFIG,
+    _reference_cert,
+    _reference_denning,
+    _reference_lint,
+)
+from repro.workloads.generators import random_program
+from repro.workloads.suites import corpus, corpus_names
+
+CONFIGS = [
+    dict(DEFAULT_CONFIG),
+    dict(DEFAULT_CONFIG, on_concurrency="reject"),
+    dict(DEFAULT_CONFIG, scheme="four-level", high=("h",)),
+    dict(DEFAULT_CONFIG, scheme="diamond", high=("h", "v0")),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.mark.parametrize("corpus_name", sorted(corpus_names()))
+def test_fused_agrees_on_every_corpus(corpus_name):
+    for name, subject in corpus(corpus_name):
+        for config in CONFIGS:
+            fast = fused_cert(subject, config)
+            assert fast is not None, (corpus_name, name)
+            assert fast == _reference_cert(subject, config), (corpus_name, name)
+            fast_d = fused_denning(subject, config)
+            assert fast_d == _reference_denning(subject, config), (
+                corpus_name,
+                name,
+            )
+
+
+def test_fused_agrees_on_generated_programs_both_profiles():
+    config = dict(DEFAULT_CONFIG, high=("v0",))
+    for seed in range(25):
+        for runtime_safe in (False, True):
+            subject = random_program(
+                seed=seed, size=30, runtime_safe=runtime_safe, p_cobegin=0.2
+            )
+            assert fused_cert(subject, config) == _reference_cert(
+                subject, config
+            ), seed
+            assert fused_denning(subject, config) == _reference_denning(
+                subject, config
+            ), seed
+
+
+def test_memo_warm_answers_are_identical_to_cold():
+    subject = parse_program(
+        "var x, h, s : integer;"
+        "begin x := h; while x > 0 do x := x - 1; "
+        "cobegin x := 1 || h := x coend end"
+    )
+    config = dict(DEFAULT_CONFIG)
+    cold = fused_cert(subject, config)
+    stats = cache_stats()
+    assert stats["irs"] > 0 and stats["memo"] > 0
+    warm = fused_cert(subject, config)
+    assert warm == cold == _reference_cert(subject, config)
+
+
+def test_declines_procedure_programs():
+    source = (
+        "proc inc(in a; out b) b := a + 1 "
+        "var x, h : integer; begin call inc(h; x) end"
+    )
+    subject = parse_program(source)
+    assert subject.procs
+    assert fused_cert(subject, dict(DEFAULT_CONFIG)) is None
+    assert fused_denning(subject, dict(DEFAULT_CONFIG)) is None
+    assert lint_memo_get(subject, dict(DEFAULT_CONFIG)) is None
+
+
+def test_declines_unknown_scheme_and_bad_mode():
+    subject = parse_statement("x := 1")
+    assert fused_cert(subject, dict(DEFAULT_CONFIG, scheme="no-such")) is None
+    assert (
+        fused_denning(subject, dict(DEFAULT_CONFIG, on_concurrency="weird"))
+        is None
+    )
+
+
+def test_declines_non_statement_subjects():
+    assert fused_cert("not a program", dict(DEFAULT_CONFIG)) is None
+
+
+def test_registry_falls_back_when_fastpath_declines():
+    from repro.errors import BindingError
+    from repro.pipeline.analyses import ANALYSES
+
+    # Procedure expansion introduces activation variables the config-
+    # derived policy cannot see, so the *reference* outcome for this
+    # subject is a BindingError; the fast path must decline and let the
+    # registry surface exactly that, not swallow or alter it.
+    source = (
+        "proc inc(in a; out b) b := a + 1 "
+        "var x, h : integer; begin call inc(h; x) end"
+    )
+    subject = parse_program(source)
+    with pytest.raises(BindingError):
+        _reference_cert(subject, dict(DEFAULT_CONFIG))
+    with pytest.raises(BindingError):
+        ANALYSES["cert"].run(subject, dict(DEFAULT_CONFIG))
+
+
+def test_registry_respects_the_fastpath_flag():
+    from repro.pipeline.analyses import ANALYSES
+
+    subject = parse_statement("begin x := h; while h > 0 do skip end")
+    on = ANALYSES["cert"].run(subject, dict(DEFAULT_CONFIG, fastpath=True))
+    off = ANALYSES["cert"].run(subject, dict(DEFAULT_CONFIG, fastpath=False))
+    assert on == off == _reference_cert(subject, dict(DEFAULT_CONFIG))
+    assert cache_stats()["irs"] > 0  # the flagged-on run used the engine
+
+
+def test_lint_memo_round_trip_matches_reference():
+    subject = parse_program(
+        "var x, h : integer; s : semaphore initially(1);"
+        "begin wait(s); x := h; signal(s) end"
+    )
+    config = dict(DEFAULT_CONFIG)
+    assert lint_memo_get(subject, config) is None  # cold miss
+    reference = _reference_lint(subject, config)
+    lint_memo_put(subject, config, reference)
+    hit = lint_memo_get(subject, config)
+    assert hit == reference
+    assert hit is not reference  # a defensive copy, not the stored object
+    hit["findings"] = -1  # mutating the copy must not poison the memo
+    assert lint_memo_get(subject, config) == reference
+
+
+def test_lint_memo_distinguishes_layouts_of_one_structure():
+    compact = parse_program("var x, h : integer; begin x := h end")
+    spread = parse_program("var x, h : integer;\nbegin\n\n  x := h\nend")
+    config = dict(DEFAULT_CONFIG)
+    lint_memo_put(compact, config, _reference_lint(compact, config))
+    # same structure, different spans: the memo must not cross-serve
+    cross = lint_memo_get(spread, config)
+    assert cross is None or cross == _reference_lint(spread, config)
+    assert lint_memo_get(spread, config) != lint_memo_get(compact, config) or (
+        _reference_lint(spread, config) == _reference_lint(compact, config)
+    )
+
+
+def test_clear_caches_resets_all_stats():
+    fused_cert(parse_statement("x := h"), dict(DEFAULT_CONFIG))
+    assert cache_stats()["irs"] > 0
+    clear_caches()
+    assert cache_stats() == {"irs": 0, "memo": 0, "resolved": 0, "schemes": 0}
+
+
+def test_builder_and_parser_subjects_share_records():
+    parsed = parse_statement("x := h")
+    built = assign("x", "h")
+    config = dict(DEFAULT_CONFIG)
+    assert fused_cert(parsed, config) == fused_cert(built, config)
+    assert cache_stats()["irs"] == 1  # one shared row for both subjects

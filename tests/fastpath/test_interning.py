@@ -1,0 +1,181 @@
+"""Property tests: interned lattices agree with their bases pointwise.
+
+Two layers of evidence, both over every interned shape (chain,
+powerset, product-as-table, product-as-mixed-radix, generic finite,
+extended):
+
+* **pointwise agreement** — for every element pair (exhaustively for
+  small carriers, seeded random sweeps for big ones), the interned
+  ``join``/``meet``/``leq`` decode to exactly what the base lattice
+  computes, and ``encode``/``decode`` round-trip;
+* **the lattice axioms** — commutativity, associativity, absorption,
+  and the top/bottom identities hold *of the interned operations
+  themselves*, so the fast path is a lattice in its own right, not
+  just a lookup that happens to match today.
+
+Only stdlib ``random`` is used, with fixed seeds.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ElementError
+from repro.fastpath.interning import (
+    ChainInterned,
+    ExtendedInterned,
+    PowersetInterned,
+    ProductInterned,
+    TableInterned,
+    intern_lattice,
+)
+from repro.lattice.chain import ChainLattice, four_level, two_level
+from repro.lattice.extended import NIL, ExtendedLattice
+from repro.lattice.finite import diamond
+from repro.lattice.powerset import PowersetLattice
+from repro.lattice.product import ProductLattice, military
+
+
+def _cases():
+    return [
+        ("two-level", two_level()),
+        ("four-level", four_level()),
+        ("chain-7", ChainLattice([f"c{i}" for i in range(7)], name="chain-7")),
+        ("powerset-1", PowersetLattice(("a",))),
+        ("powerset-4", PowersetLattice(("a", "b", "c", "d"))),
+        ("diamond", diamond()),
+        ("military", military()),
+        (
+            "product-3",
+            ProductLattice(two_level(), four_level(), PowersetLattice(("x", "y"))),
+        ),
+        ("ext-two-level", ExtendedLattice(two_level())),
+        ("ext-diamond", ExtendedLattice(diamond())),
+        ("ext-military", ExtendedLattice(military())),
+    ]
+
+
+CASES = _cases()
+IDS = [name for name, _ in CASES]
+
+#: Exhaustive pairs below this carrier size; seeded sampling above.
+EXHAUSTIVE_LIMIT = 40
+
+
+def _element_pairs(lattice, seed):
+    elements = sorted(lattice.elements, key=repr)
+    if len(elements) <= EXHAUSTIVE_LIMIT:
+        return list(itertools.product(elements, elements))
+    rng = random.Random(seed)
+    return [
+        (rng.choice(elements), rng.choice(elements)) for _ in range(1500)
+    ]
+
+
+@pytest.mark.parametrize("name,lattice", CASES, ids=IDS)
+def test_encode_decode_round_trips(name, lattice):
+    interned = intern_lattice(lattice)
+    assert interned.n == len(lattice.elements)
+    for element in lattice.elements:
+        i = interned.encode(element)
+        assert 0 <= i < interned.n
+        assert interned.decode(i) == element
+    assert interned.decode(interned.top) == lattice.top
+    assert interned.decode(interned.bottom) == lattice.bottom
+
+
+@pytest.mark.parametrize("name,lattice", CASES, ids=IDS)
+def test_join_meet_leq_agree_pointwise(name, lattice):
+    interned = intern_lattice(lattice)
+    for a, b in _element_pairs(lattice, seed=hash(name) % 10_000):
+        i, j = interned.encode(a), interned.encode(b)
+        assert interned.decode(interned.join(i, j)) == lattice.join(a, b)
+        assert interned.decode(interned.meet(i, j)) == lattice.meet(a, b)
+        assert interned.leq(i, j) == lattice.leq(a, b)
+
+
+@pytest.mark.parametrize("name,lattice", CASES, ids=IDS)
+def test_lattice_axioms_hold_over_ids(name, lattice):
+    interned = intern_lattice(lattice)
+    rng = random.Random(20_260_808 + interned.n)
+    ids = list(range(interned.n))
+    sample = ids if len(ids) <= 16 else rng.sample(ids, 16)
+    for i in sample:
+        # identities: bottom is the join identity, top the meet identity
+        assert interned.join(i, interned.bottom) == i
+        assert interned.meet(i, interned.top) == i
+        assert interned.leq(interned.bottom, i)
+        assert interned.leq(i, interned.top)
+        # idempotence and reflexivity
+        assert interned.join(i, i) == i
+        assert interned.meet(i, i) == i
+        assert interned.leq(i, i)
+        for j in sample:
+            # commutativity and absorption
+            assert interned.join(i, j) == interned.join(j, i)
+            assert interned.meet(i, j) == interned.meet(j, i)
+            assert interned.join(i, interned.meet(i, j)) == i
+            assert interned.meet(i, interned.join(i, j)) == i
+            # consistency: i <= j iff join is j iff meet is i
+            assert interned.leq(i, j) == (interned.join(i, j) == j)
+            assert interned.leq(i, j) == (interned.meet(i, j) == i)
+        for _ in range(8):
+            j, k = rng.choice(ids), rng.choice(ids)
+            assert interned.join(interned.join(i, j), k) == interned.join(
+                i, interned.join(j, k)
+            )
+            assert interned.meet(interned.meet(i, j), k) == interned.meet(
+                i, interned.meet(j, k)
+            )
+
+
+def test_factory_picks_structural_representations():
+    assert isinstance(intern_lattice(two_level()), ChainInterned)
+    assert isinstance(intern_lattice(PowersetLattice(("a", "b"))), PowersetInterned)
+    assert isinstance(intern_lattice(ExtendedLattice(diamond())), ExtendedInterned)
+    assert isinstance(intern_lattice(diamond()), TableInterned)
+    # small products get tables; huge ones fall back to mixed-radix
+    assert isinstance(intern_lattice(military()), TableInterned)
+    wide = ProductLattice(
+        *[PowersetLattice(tuple("abcd"), name=f"p{i}") for i in range(3)],
+        name="wide",
+    )
+    assert isinstance(intern_lattice(wide), ProductInterned)
+
+
+def test_mixed_radix_product_agrees_with_table():
+    # Force both representations of the same lattice and cross-check.
+    base = ProductLattice(two_level(), diamond(), name="cross")
+    table = TableInterned(base)
+    packed = ProductInterned(base)
+    for a, b in itertools.product(sorted(base.elements, key=repr), repeat=2):
+        want_join = base.join(a, b)
+        want_meet = base.meet(a, b)
+        for interned in (table, packed):
+            i, j = interned.encode(a), interned.encode(b)
+            assert interned.decode(interned.join(i, j)) == want_join
+            assert interned.decode(interned.meet(i, j)) == want_meet
+            assert interned.leq(i, j) == base.leq(a, b)
+
+
+def test_extended_nil_laws():
+    interned = intern_lattice(ExtendedLattice(four_level()))
+    nil = interned.encode(NIL)
+    assert nil == interned.bottom
+    assert interned.decode(nil) is NIL
+    for i in range(interned.n):
+        assert interned.join(nil, i) == i  # nil is the join identity
+        assert interned.meet(nil, i) == nil  # and the meet absorber
+        assert interned.leq(nil, i)
+    assert not interned.leq(interned.top, nil)
+
+
+def test_foreign_elements_are_rejected():
+    interned = intern_lattice(two_level())
+    with pytest.raises(ElementError):
+        interned.encode("no-such-level")
+    with pytest.raises(ElementError):
+        interned.decode(interned.n)
+    with pytest.raises(ElementError):
+        interned.decode(-1)

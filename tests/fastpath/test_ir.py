@@ -1,0 +1,112 @@
+"""The hash-consed IR: sharing, ordering, and the location contract."""
+
+import pytest
+
+from repro.fastpath.ir import (
+    K_BEGIN,
+    NO_NODE,
+    NodeStore,
+    Unsupported,
+    child_nids,
+    expr_signature,
+    lower,
+)
+from repro.lang.parser import parse_program, parse_statement
+
+
+def _body(source):
+    return parse_program(source).body
+
+
+def test_identical_subtrees_share_one_nid():
+    store = NodeStore()
+    a = lower(parse_statement("x := h + 1"), store)
+    b = lower(parse_statement("x := h + 1"), store)
+    assert a == b
+    assert len(store) == 1
+
+
+def test_sharing_crosses_programs():
+    store = NodeStore()
+    lower(_body("var x, h : integer; begin x := h; x := x + 1 end"), store)
+    before = len(store)
+    # the same statements inside a different composition: only the new
+    # begin row is interned
+    lower(
+        _body("var x, h : integer; begin x := x + 1; x := h end"),
+        store,
+    )
+    assert len(store) == before + 1
+
+
+def test_child_nids_are_smaller_than_parents():
+    store = NodeStore()
+    root = lower(
+        _body(
+            "var x, h, s : integer;"
+            "begin if h > 0 then x := 1 else skip;"
+            "while x < 3 do x := x + 1 end"
+        ),
+        store,
+    )
+    for nid, row in enumerate(store.rows):
+        assert all(child < nid for child in child_nids(row))
+    assert root == len(store) - 1
+
+
+def test_locations_do_not_affect_nids():
+    one_line = _body("var x, h : integer; begin x := h; x := x + 1 end")
+    spread = _body(
+        "var x, h : integer;\nbegin\n  x := h;\n\n  x := x + 1\nend"
+    )
+    store = NodeStore()
+    assert lower(one_line, store) == lower(spread, store)
+
+
+def test_variable_renaming_changes_nids():
+    store = NodeStore()
+    a = lower(parse_statement("x := h"), store)
+    b = lower(parse_statement("y := h"), store)
+    assert a != b
+
+
+def test_expr_signature_is_sorted_unique_names():
+    stmt = parse_statement("x := b + a * b + 2")
+    assert expr_signature(stmt.expr) == ("a", "b")
+
+
+def test_missing_else_is_distinct_from_skip_else():
+    store = NodeStore()
+    bare = lower(parse_statement("if h > 0 then x := 1"), store)
+    explicit = lower(parse_statement("if h > 0 then x := 1 else skip"), store)
+    assert bare != explicit
+    assert store.rows[bare][3] == NO_NODE
+
+
+def test_unknown_nodes_raise_unsupported():
+    from repro.lang.ast import Stmt
+
+    class Exotic(Stmt):
+        __slots__ = ()
+
+    store = NodeStore()
+    with pytest.raises(Unsupported):
+        lower(Exotic(), store)
+
+
+def test_clear_resets_the_store():
+    store = NodeStore()
+    lower(parse_statement("x := 1"), store)
+    assert len(store) == 1
+    store.clear()
+    assert len(store) == 0
+    assert store.index == {}
+
+
+def test_begin_row_lists_children_in_order():
+    store = NodeStore()
+    root = lower(_body("var x : integer; begin x := 1; x := 2; skip end"), store)
+    row = store.rows[root]
+    assert row[0] == K_BEGIN
+    assert len(row[1]) == 3
+    assert child_nids(row) == row[1]

@@ -141,3 +141,51 @@ def test_generate_subject_is_deterministic():
     a = generate_subject(5, "runtime_safe")
     b = generate_subject(5, "runtime_safe")
     assert pretty(a) == pretty(b)
+
+
+# -- cert-equiv: the fused fast path against the reference analyzers ---------
+
+
+def test_cert_equiv_holds_on_parsed_and_generated_programs():
+    from repro.fastpath import clear_caches
+
+    clear_caches()
+    s = parse_statement("begin x := v0; while v0 > 0 do x := x - 1 end")
+    assert ORACLES["cert-equiv"].check(s, CONFIG) is None
+    for seed in range(4):
+        for profile in PROFILES:
+            assert ORACLES["cert-equiv"].check(
+                generate_subject(seed, profile), CONFIG
+            ) is None
+    clear_caches()
+
+
+def test_cert_equiv_skips_when_the_fast_path_is_disabled():
+    outcome = ORACLES["cert-equiv"].check(
+        parse_statement("x := 1"), dict(CONFIG, fastpath=False)
+    )
+    assert isinstance(outcome, OracleSkip)
+    assert "disabled" in outcome.reason
+
+
+def test_cert_equiv_skips_subjects_the_fast_path_declines():
+    source = (
+        "proc inc(in a; out b) b := a + 1 "
+        "var x, h : integer; begin call inc(h; x) end"
+    )
+    outcome = ORACLES["cert-equiv"].check(parse_program(source), CONFIG)
+    assert isinstance(outcome, OracleSkip)
+    assert "declined" in outcome.reason
+
+
+def test_cert_equiv_reports_a_divergence(monkeypatch):
+    # Sabotage the fused certifier: the oracle must catch the lie.
+    def lying_fused_cert(subject, config):
+        return {"certified": True, "checks": 0, "violations": []}
+
+    monkeypatch.setattr("repro.fastpath.fused_cert", lying_fused_cert)
+    s = parse_statement("x := v0")  # v0 is high under FUZZ_CONFIG
+    outcome = ORACLES["cert-equiv"].check(s, CONFIG)
+    assert isinstance(outcome, dict)
+    assert outcome["relation"] == "fused cert == reference cert"
+    assert outcome["fused"] != outcome["reference"]

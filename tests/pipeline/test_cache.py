@@ -88,6 +88,48 @@ def test_key_changes_with_scheme_policy_and_version():
         assert bumped[name] != base[name], name
 
 
+def test_pre_fastpath_entries_miss_cleanly(tmp_path):
+    """Stale 1.1.x cert/denning/lint entries must re-key, not replay.
+
+    The fused fast path landed with a version bump precisely so caches
+    written by the pre-fastpath release cannot serve results to the new
+    code: an entry stored under the old version's key must be a clean
+    miss (recompute + rewrite), never a hit and never a crash.
+    """
+    assert repro.__version__ != "1.1.0"  # the release the bump leaves behind
+    old = _keys_for({}, version="1.1.0")
+    current = _keys_for({})
+    for name in current:
+        assert current[name] != old[name], name
+
+    # Simulate the migration end to end: seed the cache under the old
+    # version's keys, then run the pipeline and demand zero hits.
+    from repro.lang.pretty import pretty
+
+    cache_dir = str(tmp_path / "cache")
+    cache = ResultCache(cache_dir)
+    config = dict(DEFAULT_CONFIG)
+    config["high"] = tuple(sorted(config["high"]))
+    for name, subject in small_corpus():
+        key = cache_key(
+            pretty(subject),
+            "statement",
+            "cert",
+            ANALYSES["cert"].config_slice(config),
+            "1.1.0",
+        )
+        cache.put(key, "cert", {"certified": False, "checks": 0, "violations": []})
+    migrated = run_pipeline(small_corpus(), analyses=("cert",), cache_dir=cache_dir)
+    assert migrated.stats["cache"]["hits"] == 0
+    assert migrated.stats["cache"]["misses"] == 4
+    assert migrated.stats["computed"] == 4
+    # the stale planted answers never leak into the document
+    assert all(
+        entry["analyses"]["cert"]["checks"] > 0 or entry["analyses"]["cert"]["certified"]
+        for entry in migrated.programs
+    )
+
+
 def test_key_changes_with_program_text():
     a = cache_key("l := h", "statement", "cert", {}, "1.0.0")
     b = cache_key("l := h2", "statement", "cert", {}, "1.0.0")

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.pipeline",
     "repro.service",
     "repro.fuzz",
+    "repro.fastpath",
 ]
 
 
