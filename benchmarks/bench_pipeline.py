@@ -11,6 +11,14 @@ Two experiments, emitted together as ``BENCH_pipeline.json``:
   ``cpu_count`` and the assertion only applies where the hardware can
   deliver it.  The warm-cache ratio is hardware-independent.
 
+* **chunk_sweep** — the parallel matrix re-run across dispatch
+  granularities (``chunk_size`` 1 / auto / one-chunk): wall time and
+  the chunking counters (chunks submitted, cells carried, bytes
+  pickled) per granularity, every document asserted byte-identical to
+  the serial baseline.  This is the dial the chunking work exists to
+  turn: per-cell dispatch pays executor+pickle overhead per cell,
+  auto amortizes it.
+
 * **observe** — the same serial matrix with the trace sink off vs
   streaming to a JSON-lines file: the observability layer must be
   read-only (byte-identical documents) and near-free (a loose
@@ -106,8 +114,41 @@ def throughput_experiment(corpus, cache_dir: str, jobs: int):
         "warm_cache_seconds": t_warm,
         "speedup_parallel": t_serial / t_parallel if t_parallel > 0 else float("inf"),
         "speedup_warm_cache": t_warm and t_serial / t_warm,
+        "chunks": dict(parallel.metrics["chunks"]),
         "errors": len(serial.errors()),
-    }
+    }, serial.to_json()
+
+
+def chunk_sweep_experiment(corpus, jobs: int, expected_json: str):
+    """The parallel matrix across dispatch granularities.
+
+    Every document must equal the serial baseline — ``chunk_size`` is
+    an execution-strategy knob with a byte-identity contract.
+    """
+    config = {"max_states": MAX_STATES}
+    cells = len(corpus) * len(ANALYSES)
+    rows = []
+    for label, chunk_size in (("1", 1), ("auto", None), ("all", cells)):
+        seconds, result = _timed(
+            lambda size=chunk_size: run_pipeline(
+                corpus, ANALYSES, jobs=jobs, use_cache=False,
+                config=config, chunk_size=size,
+            )
+        )
+        assert result.to_json() == expected_json, (
+            f"chunk_size={label} changed the document"
+        )
+        counters = result.metrics["chunks"]
+        rows.append(
+            {
+                "chunk_size": label,
+                "seconds": seconds,
+                "chunks_submitted": counters["submitted"],
+                "cells": counters["cells"],
+                "bytes_pickled": counters["bytes_pickled"],
+            }
+        )
+    return {"jobs": jobs, "cells": cells, "rows": rows}
 
 
 def observe_overhead_experiment(corpus):
@@ -211,9 +252,10 @@ def main(argv=None) -> int:
 
     corpus = bench_corpus(args.smoke)
     with tempfile.TemporaryDirectory() as tmp:
-        throughput = throughput_experiment(
+        throughput, serial_json = throughput_experiment(
             corpus, args.cache_dir or tmp, args.jobs
         )
+    chunk_sweep = chunk_sweep_experiment(corpus, args.jobs, serial_json)
     observe = observe_overhead_experiment(corpus)
     por = por_experiment(corpus)
 
@@ -232,6 +274,19 @@ def main(argv=None) -> int:
                 f"{throughput['warm_cache_seconds']:.2f}",
                 f"{throughput['speedup_warm_cache']:.1f}x",
             ),
+        ],
+    )
+    emit_table(
+        "chunked dispatch sweep (parallel, by chunk size)",
+        ["chunk size", "seconds", "chunks", "bytes pickled"],
+        [
+            (
+                row["chunk_size"],
+                f"{row['seconds']:.2f}",
+                row["chunks_submitted"],
+                row["bytes_pickled"],
+            )
+            for row in chunk_sweep["rows"]
         ],
     )
     emit_table(
@@ -266,6 +321,7 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "cpu_count": multiprocessing.cpu_count(),
         "throughput": throughput,
+        "chunk_sweep": chunk_sweep,
         "observe": observe,
         "por": por,
     }
@@ -275,6 +331,16 @@ def main(argv=None) -> int:
     # Correctness gates hold in every mode.
     assert por["mismatches"] == 0, "POR changed an outcome set"
     assert observe["metrics_valid"], "metrics document failed validation"
+    # The chunking gate also holds in smoke mode wherever the cores
+    # exist: with >= 2 cores, jobs > 1 must actually beat serial.
+    if multiprocessing.cpu_count() >= 2:
+        assert throughput["speedup_parallel"] > 1.0, throughput
+    else:
+        print(
+            f"note: {multiprocessing.cpu_count()} CPU(s) — parallel "
+            "> serial gate skipped (needs >= 2 cores)",
+            file=sys.stderr,
+        )
     if args.smoke:
         return 0
     # Perf gates: warm cache is hardware-independent; parallel speedup

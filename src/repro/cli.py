@@ -11,9 +11,10 @@ Subcommands::
     report   PROGRAM --bind ...
     lint     PROGRAM... [--json] [--select RPL1] [--ignore RPL402]
     batch    [PROGRAM...] [--corpus litmus] --analyses cert,lint
-             [--jobs 4] [--cache-dir DIR] [--no-cache] [--json]
+             [--jobs 4] [--chunk-size N] [--cache-dir DIR]
+             [--no-cache] [--json]
     serve    [--host 127.0.0.1] [--port 8765] [--jobs 2]
-             [--lru-size N] [--deadline SECONDS]
+             [--chunk-size N] [--lru-size N] [--deadline SECONDS]
 
 ``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
 scheme's class names (``low``/``high`` for the default two-level
@@ -414,6 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 1 = serial)",
     )
     sub.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(program, analysis) cells dispatched per worker task "
+        "(default: auto-sized from the corpus and --jobs)",
+    )
+    sub.add_argument(
         "--cache-dir",
         default=".repro-cache",
         metavar="DIR",
@@ -510,6 +519,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 1 = serial)",
     )
     sub.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seeds dispatched per worker task "
+        "(default: auto-sized from --seeds and --jobs)",
+    )
+    sub.add_argument(
         "--corpus-dir",
         default=None,
         metavar="DIR",
@@ -582,6 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="persistent worker processes, pre-forked at startup "
         "(default: 2; 1 = analyse in-process)",
+    )
+    sub.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(program, analysis) cells dispatched per worker task "
+        "(default: auto-sized per request)",
     )
     sub.add_argument(
         "--cache-dir",
@@ -804,6 +829,7 @@ def _cmd_batch(args) -> int:
             use_cache=not args.no_cache,
             config=config,
             trace=trace,
+            chunk_size=args.chunk_size,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -880,6 +906,7 @@ def _cmd_serve(args) -> int:
         lru_capacity=0 if args.no_cache else args.lru_size,
         default_deadline=args.deadline,
         default_config={"fastpath": False} if args.no_fastpath else None,
+        chunk_size=args.chunk_size,
     )
     return serve(
         service, host=args.host, port=args.port, quiet=args.quiet
@@ -935,6 +962,7 @@ def _cmd_fuzz(args) -> int:
             deadline=args.deadline,
             do_shrink=not args.no_shrink,
             corpus_dir=args.corpus_dir,
+            chunk_size=args.chunk_size,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")

@@ -229,6 +229,7 @@ def run_fuzz(
     corpus_dir: Optional[str] = None,
     observer: Optional[MetricsAggregator] = None,
     pool: Optional[WorkerPool] = None,
+    chunk_size: Optional[int] = None,
 ) -> FuzzResult:
     """Run a differential fuzzing campaign.
 
@@ -238,7 +239,9 @@ def run_fuzz(
     :data:`FUZZ_CONFIG`; ``deadline`` (seconds) bounds each oracle's
     exploration wall-clock.  With ``corpus_dir`` every minimized
     finding is persisted for replay.  ``jobs > 1`` fans seeds over a
-    :class:`WorkerPool` (or a caller-owned ``pool``).
+    :class:`WorkerPool` (or a caller-owned ``pool``);
+    ``chunk_size`` overrides how many seeds ride in one submitted
+    worker task (default: auto-sized, see ``docs/pipeline.md``).
     """
     started = time.perf_counter()
     names = tuple(oracles) if oracles is not None else tuple(sorted(ORACLES))
@@ -274,7 +277,10 @@ def run_fuzz(
         if pool is None:
             own = pool = WorkerPool(jobs)
         try:
-            envelopes = pool.run(pending, payloads, observer, fn=_fuzz_worker)
+            envelopes = pool.run(
+                pending, payloads, observer, fn=_fuzz_worker,
+                chunk_size=chunk_size,
+            )
         finally:
             if own is not None:
                 own.close()

@@ -15,6 +15,15 @@ behind ``repro batch --metrics out.json``:
 ``workers``
     pool lifecycle counts: pools started, crashes observed, tasks
     retried after a crash, tasks abandoned after bounded retry;
+``chunks``
+    chunked-dispatch counters: worker tasks (chunks) submitted, cells
+    carried by those chunks, and payload bytes pickled across the
+    process boundary — the overhead the chunking granularity exists
+    to amortize (see ``docs/pipeline.md``);
+``spans``
+    the retained top-level span records (most importantly the ``run``
+    span emitted at the end of every pipeline run); per-cell ``task``
+    spans are not duplicated here — they live in ``items``;
 ``cache``
     the content-addressed cache counters (hits / misses / writes /
     corrupt) plus ``skipped_degraded`` — degraded partial results are
@@ -85,6 +94,15 @@ class MetricsAggregator(TraceEmitter):
         self.workers: Dict[str, int] = {
             name: 0 for name in _WORKER_EVENTS.values()
         }
+        self.chunks: Dict[str, int] = {
+            "submitted": 0,
+            "cells": 0,
+            "bytes_pickled": 0,
+        }
+        #: Retained span records (bounded by ``max_items`` like
+        #: :attr:`items`); per-cell ``task`` spans go straight to the
+        #: sink from :meth:`item` and are deliberately not kept here.
+        self.spans: List[Dict[str, object]] = []
         self.skipped_degraded = 0
         self._by_status: Dict[str, int] = {s: 0 for s in ITEM_STATUSES}
         self._analyses: Dict[str, Dict[str, object]] = {}
@@ -93,13 +111,28 @@ class MetricsAggregator(TraceEmitter):
         self._lock = threading.Lock()
 
     def emit(self, record: Dict[str, object]) -> None:
-        """Tally worker lifecycle events; forward everything to the sink."""
+        """Tally worker events, retain spans; forward all to the sink."""
         if record.get("type") == "event":
             bucket = _WORKER_EVENTS.get(str(record.get("name")))
             if bucket is not None:
                 with self._lock:
                     self.workers[bucket] += 1
+        elif record.get("type") == "span":
+            with self._lock:
+                self.spans.append(dict(record))
+                if self.max_items is not None and len(self.spans) > self.max_items:
+                    del self.spans[: len(self.spans) - self.max_items]
         self.sink.emit(record)
+
+    def chunk(self, cells: int, bytes_pickled: int) -> None:
+        """Record one submitted chunk of ``cells`` worker payloads."""
+        with self._lock:
+            self.chunks["submitted"] += 1
+            self.chunks["cells"] += int(cells)
+            self.chunks["bytes_pickled"] += int(bytes_pickled)
+        self.sink.event(
+            "chunk_submitted", cells=cells, bytes_pickled=bytes_pickled
+        )
 
     def item(
         self,
@@ -197,6 +230,8 @@ class MetricsAggregator(TraceEmitter):
                 name: dict(agg) for name, agg in self._analyses.items()
             }
             workers = dict(self.workers)
+            chunks = dict(self.chunks)
+            spans = [dict(span) for span in self.spans]
             skipped_degraded = self.skipped_degraded
         tasks = sum(by_status.values())
         cache_section = dict(cache or {})
@@ -215,6 +250,8 @@ class MetricsAggregator(TraceEmitter):
                 "errors": by_status["error"],
             },
             "workers": workers,
+            "chunks": chunks,
+            "spans": spans,
             "cache": cache_section,
             "analyses": analyses,
             "items": items,
@@ -241,11 +278,12 @@ def validate_metrics(doc: object) -> List[str]:
         problems.append(
             f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}"
         )
-    for section in ("run", "workers", "cache", "analyses"):
+    for section in ("run", "workers", "chunks", "cache", "analyses"):
         if not isinstance(doc.get(section), dict):
             problems.append(f"missing or non-object section {section!r}")
-    if not isinstance(doc.get("items"), list):
-        problems.append("missing or non-list section 'items'")
+    for section in ("items", "spans"):
+        if not isinstance(doc.get(section), list):
+            problems.append(f"missing or non-list section {section!r}")
     if problems:
         return problems
 
@@ -259,6 +297,17 @@ def validate_metrics(doc: object) -> List[str]:
     for key in ("pools", "crashes", "retries", "abandoned"):
         if not isinstance(doc["workers"].get(key), int):
             problems.append(f"workers.{key} missing or non-integer")
+    for key in ("submitted", "cells", "bytes_pickled"):
+        if not isinstance(doc["chunks"].get(key), int):
+            problems.append(f"chunks.{key} missing or non-integer")
+    for i, span in enumerate(doc["spans"]):
+        if not isinstance(span, dict):
+            problems.append(f"spans[{i}] is not an object")
+            continue
+        if not isinstance(span.get("name"), str):
+            problems.append(f"spans[{i}].name missing or non-string")
+        if not isinstance(span.get("seconds"), (int, float)):
+            problems.append(f"spans[{i}].seconds missing or non-numeric")
     for name, agg in doc["analyses"].items():
         if not isinstance(agg, dict):
             problems.append(f"analyses.{name} is not an object")

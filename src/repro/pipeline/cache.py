@@ -275,12 +275,18 @@ class TieredCache:
             self.stats.hits += 1
             return found
         if self.disk is not None:
+            # Count corruption by delta, not by mirroring the disk
+            # tier's cumulative counter: a hit would otherwise leave
+            # the combined counter stale, and two tiered caches
+            # sharing one disk store would each claim the other's
+            # corrupt entries.
+            corrupt_before = self.disk.stats.corrupt
             found = self.disk.get(key)
+            self.stats.corrupt += self.disk.stats.corrupt - corrupt_before
             if found is not None:
                 self.lru.put(key, found)
                 self.stats.hits += 1
                 return found
-            self.stats.corrupt = self.disk.stats.corrupt
         self.stats.misses += 1
         return None
 
@@ -288,8 +294,13 @@ class TieredCache:
         """Store ``result`` in both tiers (disk write is best effort)."""
         self.lru.put(key, result)
         if self.disk is not None:
+            # The disk tier swallows write failures; only count a
+            # combined write when its own counter says one landed.
+            writes_before = self.disk.stats.writes
             self.disk.put(key, analysis, result)
-        self.stats.writes += 1
+            self.stats.writes += self.disk.stats.writes - writes_before
+        elif self.lru.capacity > 0:
+            self.stats.writes += 1
 
     def lru_stats(self) -> Dict[str, int]:
         """The memory tier's own counters (see :class:`MemoryLRU`)."""

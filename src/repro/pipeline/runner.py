@@ -12,7 +12,16 @@ document.  The execution strategy:
    the pool at all, which is what makes re-runs near-free);
 3. the remaining tasks go to a ``concurrent.futures`` process pool
    when ``jobs > 1`` (workers re-parse the source — parsing is a tiny
-   fraction of any analysis this pipeline runs);
+   fraction of any analysis this pipeline runs).  Tasks are dispatched
+   in *chunks*: many (program, analysis) cells ride one submitted
+   task, so executor dispatch and pickling are amortized instead of
+   dominating tiny analyses (``chunk_size``; auto-sized from the
+   pending-cell count and ``jobs``).  When the pool is freshly forked
+   for the run, the canonical corpus is published in a module-level
+   snapshot *before* the fork and payloads carry indices into it —
+   source text never crosses the pickle boundary at all (inline
+   payloads remain the fallback under spawn and for persistent pools
+   whose workers predate the corpus);
 4. fresh results are written back to the cache and merged, and the
    document is assembled in sorted program order.
 
@@ -48,6 +57,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pickle
 import threading
 import time
 import traceback
@@ -75,6 +85,25 @@ _TRACEBACK_LIMIT = 1_000
 #: is called with each payload before the analysis runs — the only way
 #: to deterministically simulate a dying worker in the test suite.
 _INJECT_FAULT = None
+
+#: Auto chunk sizing aims at about this many chunks per worker: large
+#: enough to amortize submission/pickling over many cells, small
+#: enough that one slow chunk cannot serialize the tail of the run.
+_CHUNKS_PER_WORKER = 4
+
+#: The fork-shared corpus snapshot.  ``_execute`` publishes the
+#: canonical source texts here *before* a run-owned pool forks its
+#: workers; payloads then carry indices into this table instead of the
+#: text itself, so the dominant pickling cost of tiny analyses
+#: disappears.  Only ever read by workers forked while the table is
+#: set — persistent pools (whose workers predate any given corpus) and
+#: spawn contexts (no memory inheritance) use inline payloads instead.
+_SHARED_SOURCES: Optional[List[str]] = None
+
+#: Serializes fork-shared runs within one parent process: the snapshot
+#: is a single module slot, so a second concurrent run falls back to
+#: inline payloads instead of clobbering the first run's table.
+_SHARED_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -104,7 +133,7 @@ def _error_record(exc: BaseException) -> dict:
     }
 
 
-def _compute(payload: Tuple[str, str, str, dict]) -> dict:
+def _compute(payload: Tuple[object, str, str, dict]) -> dict:
     """Worker entry point: run one analysis on one program.
 
     Top-level (picklable) and exception-safe: analysis failures become
@@ -113,11 +142,17 @@ def _compute(payload: Tuple[str, str, str, dict]) -> dict:
     failures, not die on the first odd program.  Returns an envelope
     ``{"result": ..., "seconds": ...}``; the wall time is measured in
     the worker so it covers exactly the analysis, not queueing.
+
+    The first payload element is either the canonical source text
+    (inline payloads) or an ``int`` index into the fork-inherited
+    :data:`_SHARED_SOURCES` snapshot (fork-shared payloads).
     """
     source, kind, analysis, config = payload
+    if isinstance(source, int):
+        source = _SHARED_SOURCES[source]
     spec = ANALYSES[analysis]
     if _INJECT_FAULT is not None:
-        _INJECT_FAULT(payload)
+        _INJECT_FAULT((source, kind, analysis, config))
     started = time.perf_counter()
     try:
         subject = _subject_from_source(source, kind)
@@ -125,6 +160,32 @@ def _compute(payload: Tuple[str, str, str, dict]) -> dict:
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         result = _error_record(exc)
     return {"result": result, "seconds": time.perf_counter() - started}
+
+
+def _run_chunk(fn, chunk: List[tuple]) -> List[dict]:
+    """Chunk-level worker entry point: run ``fn`` over many payloads.
+
+    One submitted task per chunk amortizes executor dispatch and
+    payload pickling over many cells, which is what lets ``jobs > 1``
+    beat serial on corpora of tiny analyses.  Per-cell isolation is
+    preserved: a payload whose ``fn`` raises, or whose envelope cannot
+    cross the process boundary back, becomes *that cell's* error
+    record — never the chunk's.
+    """
+    envelopes = []
+    for payload in chunk:
+        try:
+            envelope = fn(payload)
+            pickle.dumps(envelope)  # must survive the trip back intact
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            envelope = {"result": _error_record(exc), "seconds": None}
+        envelopes.append(envelope)
+    return envelopes
+
+
+def _auto_chunk_size(cells: int, jobs: int) -> int:
+    """Cells per chunk when the caller sets no ``chunk_size``."""
+    return max(1, -(-cells // (jobs * _CHUNKS_PER_WORKER)))
 
 
 class PipelineResult:
@@ -259,6 +320,7 @@ def run_pipeline(
     pool: Optional[WorkerPool] = None,
     cache: Optional[object] = None,
     observer: Optional[MetricsAggregator] = None,
+    chunk_size: Optional[int] = None,
 ) -> PipelineResult:
     """Run ``analyses`` over every program in ``corpus``.
 
@@ -287,6 +349,12 @@ def run_pipeline(
     ``cache_dir``/``use_cache``; ``observer`` is a caller-owned
     :class:`repro.observe.MetricsAggregator` that accumulates across
     calls (when given, ``trace`` should be wired as its sink).
+
+    ``chunk_size`` sets how many (program, analysis) cells ride one
+    submitted worker task (CLI: ``--chunk-size``).  ``None`` auto-sizes
+    from the pending-cell count and ``jobs``; ``1`` restores per-cell
+    dispatch.  Chunking is an execution-strategy knob like ``jobs``:
+    the document is byte-identical for every value.
     """
     started = time.perf_counter()
     if observer is None:
@@ -341,7 +409,9 @@ def run_pipeline(
                     continue
             pending.append(task)
 
-    computed = _execute(pending, merged, jobs, observer, pool=pool)
+    computed = _execute(
+        pending, merged, jobs, observer, pool=pool, chunk_size=chunk_size
+    )
     seconds: Dict[Tuple[int, str], Optional[float]] = {}
     for task, envelope in zip(pending, computed):
         result = envelope["result"]
@@ -388,17 +458,25 @@ def run_pipeline(
     ]
     elapsed = time.perf_counter() - started
     cache_counters = (cache.stats if cache is not None else CacheStats()).to_dict()
+    # The run span must land before the document is assembled, or
+    # ``PipelineResult.metrics`` would never contain it.
+    observer.span("run", elapsed, jobs=jobs, tasks=len(entries) * len(analyses))
     metrics = observer.to_dict(
         elapsed_seconds=elapsed,
         jobs=jobs,
         deadline=merged.get("deadline"),
         cache=cache_counters,
     )
-    observer.span("run", elapsed, jobs=jobs, tasks=len(entries) * len(analyses))
     stats = {
         "jobs": jobs,
         "tasks": len(entries) * len(analyses),
-        "computed": len(pending),
+        # Abandoned WorkerCrash cells never ran to completion anywhere;
+        # counting them as computed would overstate what the run did.
+        "computed": sum(
+            1
+            for envelope in computed
+            if envelope["result"].get("error_type") != "WorkerCrash"
+        ),
         "elapsed_seconds": elapsed,
         "cache": cache_counters,
         "cache_dir": getattr(cache, "root", cache_dir) if cache is not None else None,
@@ -477,16 +555,24 @@ class WorkerPool:
     guarantee.
     """
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int, chunk_size: Optional[int] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.jobs = jobs
+        self.chunk_size = chunk_size
         self.submitted = 0
         self.pools_started = 0
         self._ctx = _pool_context()
         self._lock = threading.RLock()
         self._executor = None
         self._closed = False
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method workers are created with."""
+        return self._ctx.get_start_method()
 
     def _handle(self, observer: MetricsAggregator):
         """The live executor, creating (and announcing) one if needed."""
@@ -538,25 +624,38 @@ class WorkerPool:
         payloads: List[tuple],
         observer: MetricsAggregator,
         fn=None,
+        chunk_size: Optional[int] = None,
     ) -> List[dict]:
         """Run one batch of tasks, retrying across worker crashes.
 
         Returns one envelope per task, in task order (so the assembled
-        document never depends on completion order).  When a worker
-        dies the broken executor is rebuilt and the unfinished tasks
-        are retried up to :data:`MAX_TASK_ATTEMPTS` times.
+        document never depends on completion order).  Cells are
+        dispatched in chunks of ``chunk_size`` (default: the pool's
+        knob, else auto-sized — see :func:`_auto_chunk_size`): each
+        chunk is one submitted :func:`_run_chunk` task returning a
+        batched list of envelopes, with per-cell exception isolation
+        inside the chunk.  When a worker dies the broken executor is
+        rebuilt and only the unfinished cells are retried, up to
+        :data:`MAX_TASK_ATTEMPTS` attempts per cell; retried cells go
+        into singleton chunks so an innocent cell is never re-killed
+        by the cell that broke its chunk's worker.
 
-        ``fn`` is the worker entry point (default :func:`_compute`);
-        it must be a top-level picklable callable taking one payload
-        tuple.  Payload convention: the *last* element is the config
-        dict, so deadline repricing on retry works for any caller
-        (the fuzz driver reuses this pool with its own entry point).
+        ``fn`` is the per-cell worker entry point (default
+        :func:`_compute`); it must be a top-level picklable callable
+        taking one payload tuple.  Payload convention: the *last*
+        element is the config dict, so per-cell deadline repricing on
+        retry works for any caller (the fuzz driver reuses this pool
+        with its own entry point).
         """
         from concurrent.futures import as_completed
         from concurrent.futures.process import BrokenProcessPool
 
         if fn is None:
             fn = _compute
+        if chunk_size is None:
+            chunk_size = self.chunk_size
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         results: List[Optional[dict]] = [None] * len(payloads)
         attempts = [0] * len(payloads)
         first_submitted: List[Optional[float]] = [None] * len(payloads)
@@ -564,47 +663,79 @@ class WorkerPool:
         while remaining:
             pool = self._handle(observer)
             broken = False
-            futures = {}
+            futures: Dict[object, List[int]] = {}
             now = time.monotonic()
+            size = chunk_size or _auto_chunk_size(len(remaining), self.jobs)
+            fresh = [i for i in remaining if attempts[i] == 0]
+            chunks = [
+                fresh[pos:pos + size] for pos in range(0, len(fresh), size)
+            ]
+            chunks.extend([i] for i in remaining if attempts[i] > 0)
             try:
-                for i in remaining:
-                    payload = payloads[i]
-                    if first_submitted[i] is None:
-                        first_submitted[i] = now
-                    else:  # a retry: charge the wall-clock already spent
-                        *head, config = payload
-                        payload = tuple(head) + (
-                            _reprice_deadline(config, first_submitted[i], now),
-                        )
-                    futures[pool.submit(fn, payload)] = i
+                for cells in chunks:
+                    batch = []
+                    for i in cells:
+                        payload = payloads[i]
+                        if first_submitted[i] is not None:
+                            # a retry: charge the wall-clock spent since
+                            # the cell was first handed to a worker
+                            *head, config = payload
+                            payload = tuple(head) + (
+                                _reprice_deadline(
+                                    config, first_submitted[i], now
+                                ),
+                            )
+                        batch.append(payload)
+                    future = pool.submit(_run_chunk, fn, batch)
+                    # Only now did these cells genuinely reach the
+                    # executor; stamping before a submit that never
+                    # happens would charge never-run cells wall-clock
+                    # and wrongly shorten their repriced deadlines.
+                    for i in cells:
+                        if first_submitted[i] is None:
+                            first_submitted[i] = now
+                    futures[future] = cells
                     self.submitted += 1
+                    try:
+                        nbytes = len(pickle.dumps((fn, batch)))
+                    except Exception:
+                        # An unpicklable fn/payload fails its own future
+                        # inside the executor and becomes per-cell error
+                        # records below; the ledger just can't price it.
+                        nbytes = 0
+                    observer.chunk(cells=len(cells), bytes_pickled=nbytes)
             except (BrokenProcessPool, RuntimeError):
                 # the executor broke under a concurrent run() before we
                 # finished submitting; collect what we did submit
                 broken = True
             try:
                 for future in as_completed(futures):
-                    index = futures[future]
+                    cells = futures[future]
                     try:
-                        results[index] = future.result()
+                        envelopes = future.result()
                     except BrokenProcessPool:
                         broken = True
                         break
-                    except Exception as exc:  # e.g. an unpicklable result
-                        results[index] = {
-                            "result": _error_record(exc),
-                            "seconds": None,
-                        }
+                    except Exception as exc:  # e.g. an unpicklable chunk
+                        envelopes = [
+                            {"result": _error_record(exc), "seconds": None}
+                            for _ in cells
+                        ]
+                    for i, envelope in zip(cells, envelopes):
+                        results[i] = envelope
                 # A pool break fails every unfinished future at once;
-                # sweep up the tasks that finished before the crash.
+                # sweep up the chunks that finished before the crash.
                 if broken:
-                    for future, index in futures.items():
-                        if results[index] is not None or not future.done():
+                    for future, cells in futures.items():
+                        if not future.done():
                             continue
                         try:
-                            results[index] = future.result()
+                            envelopes = future.result()
                         except Exception:
-                            pass
+                            continue
+                        for i, envelope in zip(cells, envelopes):
+                            if results[i] is None:
+                                results[i] = envelope
             finally:
                 if broken:
                     self._discard(pool)
@@ -644,6 +775,7 @@ def _execute(
     jobs: int,
     observer: MetricsAggregator,
     pool: Optional[WorkerPool] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[dict]:
     """Run the cache misses, in-process or across a crash-isolated pool.
 
@@ -651,16 +783,51 @@ def _execute(
     (``deadline``) are started from the task's own clock, never shared
     or inherited from a sibling task's partially-spent budget — one
     slow program must not shorten the next program's grant.
+
+    A run-owned pool under the fork start method shares the corpus by
+    inheritance: the canonical sources are published in
+    :data:`_SHARED_SOURCES` before the workers fork, and payloads
+    carry indices into the snapshot.  A caller-owned (persistent)
+    pool, a spawn context, or a racing concurrent run falls back to
+    inlining the source text — workers that did not fork from this
+    snapshot cannot see it.
     """
-    payloads = [(t.source, t.kind, t.analysis, dict(config)) for t in pending]
+    global _SHARED_SOURCES
+
+    def _inline():
+        return [
+            (t.source, t.kind, t.analysis, dict(config)) for t in pending
+        ]
+
     if pool is not None:
-        if not payloads:
+        if not pending:
             return []
-        return pool.run(pending, payloads, observer)
-    if jobs <= 1 or len(payloads) <= 1:
-        return [_compute(payload) for payload in payloads]
+        return pool.run(pending, _inline(), observer, chunk_size=chunk_size)
+    if jobs <= 1 or len(pending) <= 1:
+        return [_compute(payload) for payload in _inline()]
     own = WorkerPool(jobs)
+    shared = own.start_method == "fork" and _SHARED_LOCK.acquire(
+        blocking=False
+    )
     try:
-        return own.run(pending, payloads, observer)
+        if shared:
+            table: List[str] = []
+            index_of: Dict[str, int] = {}
+            for task in pending:
+                if task.source not in index_of:
+                    index_of[task.source] = len(table)
+                    table.append(task.source)
+            _SHARED_SOURCES = table
+            observer.event("corpus_shared", programs=len(table))
+            payloads = [
+                (index_of[t.source], t.kind, t.analysis, dict(config))
+                for t in pending
+            ]
+        else:
+            payloads = _inline()
+        return own.run(pending, payloads, observer, chunk_size=chunk_size)
     finally:
         own.close()
+        if shared:
+            _SHARED_SOURCES = None
+            _SHARED_LOCK.release()

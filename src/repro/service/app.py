@@ -97,10 +97,12 @@ class AnalysisService:
         lru_capacity: int = 4096,
         default_deadline: Optional[float] = None,
         default_config: Optional[dict] = None,
+        chunk_size: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.chunk_size = chunk_size
         self.default_deadline = default_deadline
         self.default_config = dict(default_config or {})
         self.pool: Optional[WorkerPool] = WorkerPool(jobs) if jobs > 1 else None
@@ -202,6 +204,7 @@ class AnalysisService:
                 use_cache=self.cache is not None,
                 pool=self.pool,
                 observer=self.observer,
+                chunk_size=self.chunk_size,
             )
         except ValueError as exc:  # unknown analysis / config key
             return self._reject(str(exc), 400)

@@ -95,3 +95,52 @@ def test_validator_catches_structural_damage():
     problems = validate_metrics(doc)
     assert any("run.jobs" in p for p in problems)
     assert any("status" in p for p in problems)
+
+
+def test_chunk_counters_accumulate_and_forward():
+    sink = RecordingEmitter()
+    agg = MetricsAggregator(sink=sink)
+    agg.chunk(cells=5, bytes_pickled=400)
+    agg.chunk(cells=3, bytes_pickled=150)
+    assert agg.chunks == {"submitted": 2, "cells": 8, "bytes_pickled": 550}
+    events = [r for r in sink.records if r["name"] == "chunk_submitted"]
+    assert len(events) == 2
+    assert events[0]["cells"] == 5 and events[0]["bytes_pickled"] == 400
+    doc = agg.to_dict(elapsed_seconds=1.0, jobs=2, deadline=None)
+    assert doc["chunks"] == {"submitted": 2, "cells": 8, "bytes_pickled": 550}
+
+
+def test_spans_are_retained_in_the_document():
+    agg = MetricsAggregator()
+    agg.span("run", 1.25, jobs=2, tasks=4)
+    doc = agg.to_dict(elapsed_seconds=1.25, jobs=2, deadline=None)
+    assert doc["spans"] == [
+        {"type": "span", "name": "run", "seconds": 1.25, "jobs": 2,
+         "tasks": 4}
+    ]
+    assert validate_metrics(doc) == []
+
+
+def test_span_retention_is_bounded_like_items():
+    agg = MetricsAggregator(max_items=2)
+    for i in range(5):
+        agg.span("round", float(i))
+    assert [s["seconds"] for s in agg.spans] == [3.0, 4.0]
+
+
+def test_validator_requires_chunks_and_spans():
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None
+    )
+    del doc["chunks"]
+    assert any("chunks" in p for p in validate_metrics(doc))
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None
+    )
+    doc["chunks"]["cells"] = "many"
+    assert any("chunks.cells" in p for p in validate_metrics(doc))
+    doc = sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=1, deadline=None
+    )
+    doc["spans"] = [{"name": "run"}]  # no seconds
+    assert any("spans[0].seconds" in p for p in validate_metrics(doc))

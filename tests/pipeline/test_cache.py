@@ -312,3 +312,89 @@ def test_tiered_cache_is_a_dropin_for_run_pipeline(tmp_path):
     }
     assert tier.lru.hits == 4  # the warm run never went to disk
     assert warm.stats["cache_dir"] == str(tmp_path / "cache")
+
+
+# -- combined-counter accounting regressions (tiered cache) -------------------
+
+
+def _garble(cache, key):
+    """Plant a corrupt entry at ``key``'s on-disk address."""
+    import os
+
+    path = cache._path(key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+
+
+def test_tiered_corrupt_counter_tracks_deltas_not_snapshots(tmp_path):
+    """Regression: mirroring the disk tier's cumulative counter by
+    assignment (miss path only) went stale after any hit; the combined
+    counter must advance exactly when new corruption is observed and
+    then stay put."""
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    disk = ResultCache(str(tmp_path / "c"))
+    tier = TieredCache(disk, MemoryLRU(8))
+    bad = "ab" + "0" * 62
+    good = "cd" + "0" * 62
+
+    _garble(disk, bad)
+    assert tier.get(bad) is None
+    assert tier.stats.corrupt == 1
+    # the corrupt read healed nothing; the next get re-reads the same
+    # garbage and counts again — still a delta, never a re-snapshot
+    assert tier.get(bad) is None
+    assert tier.stats.corrupt == 2
+
+    tier.put(good, "cert", {"certified": True})
+    assert tier.get(good) == {"certified": True}  # memory hit
+    assert tier.stats.corrupt == 2  # a hit must not disturb the counter
+
+
+def test_two_tiers_sharing_one_disk_count_their_own_corruption(tmp_path):
+    """Regression: with the snapshot-assignment bug, the second tier's
+    first miss claimed every corruption the *first* tier had already
+    observed on their shared disk store."""
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    disk = ResultCache(str(tmp_path / "c"))
+    first = TieredCache(disk, MemoryLRU(8))
+    second = TieredCache(disk, MemoryLRU(8))
+    bad = "ab" + "0" * 62
+    clean = "cd" + "0" * 62
+
+    _garble(disk, bad)
+    assert first.get(bad) is None
+    assert first.stats.corrupt == 1
+    # second tier misses a *clean* key: no corruption of its own
+    assert second.get(clean) is None
+    assert second.stats.corrupt == 0
+
+
+def test_tiered_put_does_not_count_a_swallowed_disk_write(tmp_path):
+    """Regression: ``TieredCache.put`` counted a combined write even
+    when the disk tier swallowed the failure (unwritable root)."""
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    blocker = tmp_path / "flat"
+    blocker.write_text("a file where the cache root should be")
+    tier = TieredCache(ResultCache(str(blocker / "sub")), MemoryLRU(8))
+    key = "ab" + "0" * 62
+    tier.put(key, "cert", {"certified": True})  # disk write swallowed
+    assert tier.stats.writes == 0  # nothing durable landed
+    assert tier.get(key) == {"certified": True}  # memory still serves
+    assert tier.stats.hits == 1
+
+
+def test_memory_only_tier_still_counts_writes(tmp_path):
+    """Without a disk tier the memory write *is* the write; disabling
+    both tiers (capacity 0) writes nowhere and counts nothing."""
+    from repro.pipeline import MemoryLRU, TieredCache
+
+    tier = TieredCache(None, MemoryLRU(8))
+    tier.put("ab" + "0" * 62, "cert", {"certified": True})
+    assert tier.stats.writes == 1
+    disabled = TieredCache(None, MemoryLRU(0))
+    disabled.put("cd" + "0" * 62, "cert", {"certified": True})
+    assert disabled.stats.writes == 0

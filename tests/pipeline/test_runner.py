@@ -327,3 +327,19 @@ def test_retry_after_crash_gets_remaining_deadline_not_original(
     assert len(deadlines) >= 2  # first attempt + at least one retry
     assert deadlines[0] == pytest.approx(30.0)
     assert all(d < 30.0 - 0.1 for d in deadlines[1:])
+
+
+# -- the run span in the metrics document (regression: emitted after
+#    to_dict assembled the document, so it never appeared) ------------------
+
+
+def test_run_span_lands_in_the_metrics_document():
+    result = run_pipeline(
+        litmus_corpus()[:2], analyses=("cert",), use_cache=False
+    )
+    spans = [s for s in result.metrics["spans"] if s["name"] == "run"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["jobs"] == 1
+    assert span["tasks"] == 2
+    assert isinstance(span["seconds"], float)

@@ -62,6 +62,28 @@ def test_warm_lru_hit_never_touches_the_pool(tmp_path):
         svc.close()
 
 
+def test_chunk_size_flows_through_to_the_pool(tmp_path):
+    # chunk_size=1 forces one submitted task per (program, analysis)
+    # cell, so the pool's submission counter exposes the pass-through.
+    svc = AnalysisService(
+        jobs=2, chunk_size=1, cache_dir=str(tmp_path / "cache")
+    )
+    try:
+        assert svc.chunk_size == 1
+        raw = request_body(analyses=["cert", "lint"])
+        status, body = svc.analyze_json(raw)
+        assert status == 200
+        assert svc.pool.submitted == 2  # 1 program x 2 analyses, singleton chunks
+        expected = run_pipeline(
+            [("figure3.rl", figure3_program())],
+            analyses=("cert", "lint"),
+            use_cache=False,
+        )
+        assert body == (expected.to_json() + "\n").encode("utf-8")
+    finally:
+        svc.close()
+
+
 def test_concurrent_identical_requests_coalesce(monkeypatch):
     from repro.service import app as app_module
 
