@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables bench-pipeline bench-fuzz bench-cert fuzz examples lint-smoke all
+.PHONY: install test bench bench-tables bench-pipeline bench-fuzz bench-cert bench-serve fuzz examples lint-smoke all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,10 @@ bench-fuzz:
 # Fused-certifier identity + throughput gates -> BENCH_cert.json.
 bench-cert:
 	$(PYTHON) benchmarks/bench_cert.py
+
+# Serve front-line loadtest with admission gates -> BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py
 
 # A real differential fuzzing campaign (docs/fuzzing.md).
 fuzz:

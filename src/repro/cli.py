@@ -13,8 +13,11 @@ Subcommands::
     batch    [PROGRAM...] [--corpus litmus] --analyses cert,lint
              [--jobs 4] [--chunk-size N] [--cache-dir DIR]
              [--no-cache] [--json]
-    serve    [--host 127.0.0.1] [--port 8765] [--jobs 2]
-             [--chunk-size N] [--lru-size N] [--deadline SECONDS]
+    serve    [--host 127.0.0.1] [--port 8765] [--jobs 2] [--shards N]
+             [--max-queue N] [--tenant-rps RATE] [--chunk-size N]
+             [--lru-size N] [--deadline SECONDS]
+    loadtest [--duration 10] [--clients 8] [--overload-clients 32]
+             [--smoke] [--out FILE]
 
 ``PROGRAM`` is a source file (``-`` for stdin).  Bindings use the
 scheme's class names (``low``/``high`` for the default two-level
@@ -641,7 +644,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the fused certifier fast path for every request",
     )
     sub.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="independent worker pools, requests routed by "
+        "coalescing-key hash (default: 1; ignored when --jobs 1)",
+    )
+    sub.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission bound on in-flight plus waiting requests; "
+        "beyond it requests are refused with 429 (default: 64)",
+    )
+    sub.add_argument(
+        "--tenant-rps",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="per-tenant token-bucket rate limit in requests/second, "
+        "keyed by the X-Repro-Tenant header (default: unlimited)",
+    )
+    sub.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-tenant burst size in tokens "
+        "(default: max(1, --tenant-rps))",
+    )
+    sub.add_argument(
         "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    sub = subs.add_parser(
+        "loadtest",
+        help="closed-loop load driver: spawn a repro serve subprocess, "
+        "drive it with a mixed corpus, report RPS/latency/admission",
+    )
+    sub.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="steady-phase wall-clock length (default: 10)",
+    )
+    sub.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent closed-loop clients in the steady phase "
+        "(default: 8)",
+    )
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the spawned server (default: 2)",
+    )
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker-pool shards for the spawned server (default: 2)",
+    )
+    sub.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission bound for the spawned server (default: 16)",
+    )
+    sub.add_argument(
+        "--tenant-rps",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="per-tenant rate limit for the spawned server "
+        "(default: unlimited)",
+    )
+    sub.add_argument(
+        "--overload-clients",
+        type=int,
+        default=32,
+        metavar="N",
+        help="burst clients in the overload phase; more than "
+        "--max-queue forces 429s (default: 32)",
+    )
+    sub.add_argument(
+        "--overload-seconds",
+        type=float,
+        default=4.0,
+        metavar="SECONDS",
+        help="overload-phase wall-clock length (default: 4)",
+    )
+    sub.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI shape: 2s steady phase, fewer clients",
+    )
+    sub.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full JSON report here (default: stdout only)",
     )
     return parser
 
@@ -907,10 +1018,58 @@ def _cmd_serve(args) -> int:
         default_deadline=args.deadline,
         default_config={"fastpath": False} if args.no_fastpath else None,
         chunk_size=args.chunk_size,
+        shards=args.shards,
+        max_queue=args.max_queue,
+        tenant_rps=args.tenant_rps,
+        tenant_burst=args.tenant_burst,
     )
     return serve(
         service, host=args.host, port=args.port, quiet=args.quiet
     )
+
+
+def _cmd_loadtest(args) -> int:
+    """The ``loadtest`` subcommand: drive a spawned server, report, gate."""
+    import json as json_mod
+
+    from repro.service.loadtest import LoadtestOptions, run_loadtest
+
+    options = LoadtestOptions(
+        duration=2.0 if args.smoke else args.duration,
+        clients=4 if args.smoke else args.clients,
+        jobs=args.jobs,
+        shards=args.shards,
+        max_queue=args.max_queue,
+        tenant_rps=args.tenant_rps,
+        overload_clients=(
+            max(8, args.max_queue + 4) if args.smoke else args.overload_clients
+        ),
+        overload_seconds=2.0 if args.smoke else args.overload_seconds,
+        smoke=args.smoke,
+    )
+    payload = run_loadtest(options)
+    rendered = json_mod.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    failures = []
+    if payload["identity"]["invalid_documents"]:
+        failures.append(
+            f"{payload['identity']['invalid_documents']} documents "
+            "diverged from repro batch --json"
+        )
+    if payload["loadtest"]["network_errors"]:
+        failures.append(
+            f"{payload['loadtest']['network_errors']} network errors"
+        )
+    if not payload["metrics_valid"]:
+        failures.append("/metrics failed schema validation")
+    if not payload["clean_exit"]:
+        failures.append("server did not drain and exit cleanly on SIGTERM")
+    for failure in failures:
+        print(f"loadtest: FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -1011,6 +1170,8 @@ def _dispatch(args) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
 

@@ -9,6 +9,9 @@ and the CLI:
   form.  Analyses that exhaust a budget return *partial results flagged
   degraded* instead of raising — the degradation contract that keeps a
   single runaway program from stalling a corpus run.
+  :class:`TokenBucket` extends the same machinery to *rates*: the
+  resident service keys one bucket per tenant and turns an empty
+  bucket into an immediate 429 instead of unbounded queueing.
 
 * :mod:`repro.observe.trace` — span/counter/event emitters.  The
   default :data:`NULL_EMITTER` costs one ``is not None``-style check
@@ -24,7 +27,7 @@ See ``docs/observability.md`` for the trace schema, the budget
 semantics, and the degradation contract.
 """
 
-from repro.observe.budget import Budget, BudgetClock
+from repro.observe.budget import Budget, BudgetClock, TokenBucket
 from repro.observe.metrics import (
     METRICS_SCHEMA,
     MetricsAggregator,
@@ -47,6 +50,7 @@ __all__ = [
     "NULL_EMITTER",
     "NullEmitter",
     "RecordingEmitter",
+    "TokenBucket",
     "TraceEmitter",
     "validate_metrics",
 ]

@@ -1,4 +1,4 @@
-"""Unified resource budgets for explorations and pipeline analyses.
+"""Unified resource budgets for explorations, analyses, and admission.
 
 A :class:`Budget` names every limit an analysis is willing to honour:
 
@@ -16,10 +16,19 @@ given a budget never raises when it runs out — it returns whatever it
 computed so far, flagged ``degraded`` with the limit that fired, so a
 batch over an arbitrary corpus always produces a full document and the
 caller can audit exactly what was truncated.
+
+:class:`TokenBucket` is the *rate* sibling of the same machinery: where
+a :class:`BudgetClock` bounds how much one analysis may spend, a token
+bucket bounds how often a caller may start one.  The resident service
+keys one bucket per tenant (``repro serve --tenant-rps``) and turns an
+empty bucket into a 429 with a ``Retry-After`` hint instead of queueing
+unbounded work — the service-level analogue of the degradation
+contract: overload produces a cheap, explicit refusal, never a stall.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -93,3 +102,66 @@ class BudgetClock:
 
     def __repr__(self) -> str:
         return f"<BudgetClock {self.budget} elapsed={self.elapsed():.3f}s>"
+
+
+class TokenBucket:
+    """A thread-safe token bucket on the same monotonic clock as
+    :class:`BudgetClock`.
+
+    ``rate`` tokens accrue per second up to ``burst``; the bucket
+    starts full, so a quiet caller can always spend a burst before the
+    steady rate applies.  :meth:`try_acquire` never blocks — an empty
+    bucket is an immediate ``False`` plus a :meth:`retry_after` hint,
+    which is what lets an admission layer refuse cheaply instead of
+    queueing.  ``now`` is injectable everywhere for deterministic
+    tests; production callers omit it.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/second, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self._tokens = self.burst
+        # The stamp adopts the caller's clock on first use, so an
+        # injected ``now`` timeline works the same as the real
+        # monotonic clock (the bucket starts full either way).
+        self._stamp: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self._stamp is None:
+            self._stamp = now
+            return
+        # Never move the stamp backwards: a skewed ``now`` earlier than
+        # the last refill would otherwise re-credit that interval on
+        # the next call, minting tokens for time already spent.
+        if now > self._stamp:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0, now: Optional[float] = None) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill(time.monotonic() if now is None else now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0, now: Optional[float] = None) -> float:
+        """Seconds until ``tokens`` will be available (0.0 = already are)."""
+        with self._lock:
+            self._refill(time.monotonic() if now is None else now)
+            missing = tokens - self._tokens
+            return max(0.0, missing / self.rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TokenBucket rate={self.rate}/s burst={self.burst} "
+            f"tokens={self._tokens:.2f}>"
+        )

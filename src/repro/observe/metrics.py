@@ -37,8 +37,13 @@ behind ``repro batch --metrics out.json``:
     cache hits), and the limit or error type where applicable;
 ``service`` (optional)
     present in documents served by a resident ``repro serve`` process:
-    request totals, the in-flight gauge, the coalesced-request count,
-    and the in-memory LRU tier's counters (see ``docs/service.md``);
+    request totals, the in-flight and waiting gauges, the
+    coalesced-request count, the in-memory LRU tier's counters, the
+    shard count, client-disconnect and body-bytes-read counters, the
+    ``admission`` sub-section (admitted / rejected_busy / rate_limited
+    / aborted, plus the configured ``max_queue``), and per-tenant
+    request/rate-limit counters under ``tenants`` (see
+    ``docs/service.md``);
 ``fuzz`` (optional)
     present in documents emitted by ``repro fuzz --metrics``: programs
     generated, oracle checks run / skipped / violated, findings after
@@ -321,10 +326,37 @@ def validate_metrics(doc: object) -> List[str]:
         if not isinstance(service, dict):
             problems.append("section 'service' is not an object")
         else:
-            for key in ("requests", "in_flight", "coalesced",
-                        "lru_hits", "lru_misses"):
+            for key in ("requests", "in_flight", "waiting", "coalesced",
+                        "lru_hits", "lru_misses", "client_disconnects",
+                        "bytes_read", "shards"):
                 if not isinstance(service.get(key), int):
                     problems.append(f"service.{key} missing or non-integer")
+            admission = service.get("admission")
+            if not isinstance(admission, dict):
+                problems.append("service.admission missing or not an object")
+            else:
+                for key in ("admitted", "rejected_busy", "rate_limited",
+                            "aborted", "max_queue"):
+                    if not isinstance(admission.get(key), int):
+                        problems.append(
+                            f"service.admission.{key} missing or non-integer"
+                        )
+            tenants = service.get("tenants")
+            if not isinstance(tenants, dict):
+                problems.append("service.tenants missing or not an object")
+            else:
+                for name, record in tenants.items():
+                    if not isinstance(record, dict):
+                        problems.append(
+                            f"service.tenants.{name} is not an object"
+                        )
+                        continue
+                    for key in ("requests", "rate_limited"):
+                        if not isinstance(record.get(key), int):
+                            problems.append(
+                                f"service.tenants.{name}.{key} "
+                                "missing or non-integer"
+                            )
     if "fuzz" in doc:
         fuzz = doc["fuzz"]
         if not isinstance(fuzz, dict):

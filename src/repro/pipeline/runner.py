@@ -555,13 +555,22 @@ class WorkerPool:
     guarantee.
     """
 
-    def __init__(self, jobs: int, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        jobs: int,
+        chunk_size: Optional[int] = None,
+        label: Optional[str] = None,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.jobs = jobs
         self.chunk_size = chunk_size
+        #: Optional display name (the sharded service labels each
+        #: shard's pool) — carried on ``pool_start`` events so a trace
+        #: can attribute worker startups to the shard that paid them.
+        self.label = label
         self.submitted = 0
         self.pools_started = 0
         self._ctx = _pool_context()
@@ -586,7 +595,12 @@ class WorkerPool:
                     max_workers=self.jobs, mp_context=self._ctx
                 )
                 self.pools_started += 1
-                observer.event("pool_start", workers=self.jobs)
+                if self.label is not None:
+                    observer.event(
+                        "pool_start", workers=self.jobs, label=self.label
+                    )
+                else:
+                    observer.event("pool_start", workers=self.jobs)
             return self._executor
 
     def _discard(self, executor) -> None:
@@ -660,86 +674,120 @@ class WorkerPool:
         attempts = [0] * len(payloads)
         first_submitted: List[Optional[float]] = [None] * len(payloads)
         remaining = list(range(len(payloads)))
+
+        def _batch_for(cells: List[int], now: float) -> List[tuple]:
+            batch = []
+            for i in cells:
+                payload = payloads[i]
+                if first_submitted[i] is not None:
+                    # a retry: charge the wall-clock spent since
+                    # the cell was first handed to a worker
+                    *head, config = payload
+                    payload = tuple(head) + (
+                        _reprice_deadline(config, first_submitted[i], now),
+                    )
+                batch.append(payload)
+            return batch
+
+        def _account_submit(cells: List[int], batch, now: float) -> None:
+            # Only now did these cells genuinely reach the executor;
+            # stamping before a submit that never happens would charge
+            # never-run cells wall-clock and wrongly shorten their
+            # repriced deadlines.
+            for i in cells:
+                if first_submitted[i] is None:
+                    first_submitted[i] = now
+            self.submitted += 1
+            try:
+                nbytes = len(pickle.dumps((fn, batch)))
+            except Exception:
+                # An unpicklable fn/payload fails its own future
+                # inside the executor and becomes per-cell error
+                # records below; the ledger just can't price it.
+                nbytes = 0
+            observer.chunk(cells=len(cells), bytes_pickled=nbytes)
+
         while remaining:
-            pool = self._handle(observer)
-            broken = False
-            futures: Dict[object, List[int]] = {}
             now = time.monotonic()
             size = chunk_size or _auto_chunk_size(len(remaining), self.jobs)
             fresh = [i for i in remaining if attempts[i] == 0]
+            suspects = [i for i in remaining if attempts[i] > 0]
             chunks = [
                 fresh[pos:pos + size] for pos in range(0, len(fresh), size)
             ]
-            chunks.extend([i] for i in remaining if attempts[i] > 0)
-            try:
+            chunks.extend([i] for i in suspects)
+            if suspects:
+                # Retry rounds run their chunks one at a time.  A
+                # suspect that kills its worker breaks the whole
+                # executor, failing every future in flight — submitted
+                # concurrently, one poison cell would charge innocent
+                # singletons an attempt per round and abandon them.
+                # Sequential dispatch means a crasher can only fail
+                # itself; the pool is rebuilt before the next chunk.
                 for cells in chunks:
-                    batch = []
-                    for i in cells:
-                        payload = payloads[i]
-                        if first_submitted[i] is not None:
-                            # a retry: charge the wall-clock spent since
-                            # the cell was first handed to a worker
-                            *head, config = payload
-                            payload = tuple(head) + (
-                                _reprice_deadline(
-                                    config, first_submitted[i], now
-                                ),
-                            )
-                        batch.append(payload)
-                    future = pool.submit(_run_chunk, fn, batch)
-                    # Only now did these cells genuinely reach the
-                    # executor; stamping before a submit that never
-                    # happens would charge never-run cells wall-clock
-                    # and wrongly shorten their repriced deadlines.
-                    for i in cells:
-                        if first_submitted[i] is None:
-                            first_submitted[i] = now
-                    futures[future] = cells
-                    self.submitted += 1
+                    batch = _batch_for(cells, now)
+                    pool = self._handle(observer)
                     try:
-                        nbytes = len(pickle.dumps((fn, batch)))
-                    except Exception:
-                        # An unpicklable fn/payload fails its own future
-                        # inside the executor and becomes per-cell error
-                        # records below; the ledger just can't price it.
-                        nbytes = 0
-                    observer.chunk(cells=len(cells), bytes_pickled=nbytes)
-            except (BrokenProcessPool, RuntimeError):
-                # the executor broke under a concurrent run() before we
-                # finished submitting; collect what we did submit
-                broken = True
-            try:
-                for future in as_completed(futures):
-                    cells = futures[future]
-                    try:
+                        future = pool.submit(_run_chunk, fn, batch)
+                        _account_submit(cells, batch, now)
                         envelopes = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        break
-                    except Exception as exc:  # e.g. an unpicklable chunk
+                    except (BrokenProcessPool, RuntimeError):
+                        self._discard(pool)
+                        observer.event("pool_broken")
+                        continue
+                    except Exception as exc:
                         envelopes = [
                             {"result": _error_record(exc), "seconds": None}
                             for _ in cells
                         ]
                     for i, envelope in zip(cells, envelopes):
                         results[i] = envelope
-                # A pool break fails every unfinished future at once;
-                # sweep up the chunks that finished before the crash.
-                if broken:
-                    for future, cells in futures.items():
-                        if not future.done():
-                            continue
+            else:
+                pool = self._handle(observer)
+                broken = False
+                futures: Dict[object, List[int]] = {}
+                try:
+                    for cells in chunks:
+                        batch = _batch_for(cells, now)
+                        future = pool.submit(_run_chunk, fn, batch)
+                        _account_submit(cells, batch, now)
+                        futures[future] = cells
+                except (BrokenProcessPool, RuntimeError):
+                    # the executor broke under a concurrent run() before
+                    # we finished submitting; collect what we did submit
+                    broken = True
+                try:
+                    for future in as_completed(futures):
+                        cells = futures[future]
                         try:
                             envelopes = future.result()
-                        except Exception:
-                            continue
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        except Exception as exc:  # e.g. an unpicklable chunk
+                            envelopes = [
+                                {"result": _error_record(exc), "seconds": None}
+                                for _ in cells
+                            ]
                         for i, envelope in zip(cells, envelopes):
-                            if results[i] is None:
-                                results[i] = envelope
-            finally:
-                if broken:
-                    self._discard(pool)
-                    observer.event("pool_broken")
+                            results[i] = envelope
+                    # A pool break fails every unfinished future at once;
+                    # sweep up the chunks that finished before the crash.
+                    if broken:
+                        for future, cells in futures.items():
+                            if not future.done():
+                                continue
+                            try:
+                                envelopes = future.result()
+                            except Exception:
+                                continue
+                            for i, envelope in zip(cells, envelopes):
+                                if results[i] is None:
+                                    results[i] = envelope
+                finally:
+                    if broken:
+                        self._discard(pool)
+                        observer.event("pool_broken")
             retry = []
             for index in remaining:
                 if results[index] is not None:

@@ -6,7 +6,12 @@ pre-forked worker pool, an in-memory LRU in front of the on-disk
 content-addressed cache, and coalescing of concurrent identical
 requests.  The response document is byte-identical to
 ``repro batch --json`` for the same inputs — the service adds speed,
-never a second result format.  See ``docs/service.md``.
+never a second result format.  The front line degrades predictably:
+a bounded admission gauge and per-tenant token buckets turn overload
+into cheap 429s (with ``Retry-After``), and ``--shards`` splits the
+worker pool so one hot key cannot head-of-line-block the rest.
+``repro loadtest`` (:mod:`repro.service.loadtest`) measures all of it
+against a live spawned server.  See ``docs/service.md``.
 """
 
 from repro.service.app import (
@@ -15,11 +20,14 @@ from repro.service.app import (
     ServiceError,
 )
 from repro.service.httpd import AnalysisServer, serve
+from repro.service.loadtest import LoadtestOptions, run_loadtest
 
 __all__ = [
     "DEFAULT_ANALYSES",
     "AnalysisServer",
     "AnalysisService",
+    "LoadtestOptions",
     "ServiceError",
+    "run_loadtest",
     "serve",
 ]

@@ -14,7 +14,16 @@ around the CLI:
   is served without touching the pool at all;
 * **request coalescing** — concurrent identical submissions (same
   canonical programs, analyses, and config) share one computation and
-  all receive its result.
+  all receive its result;
+* **admission control** — a bounded admission gauge (429 with a
+  ``Retry-After`` hint once ``in_flight + waiting`` would exceed
+  ``max_queue``) and optional per-tenant token-bucket rate limits
+  (:class:`repro.observe.TokenBucket`, keyed by the transport's
+  ``X-Repro-Tenant`` header), so overload degrades into cheap explicit
+  refusals instead of an unbounded thread pile-up;
+* **sharded worker pools** — ``shards > 1`` splits the workers into
+  independent pools routed by coalescing-key hash, so one heavy
+  request stream cannot head-of-line-block every other key.
 
 The response contract is strict: for any (program, analyses, config)
 the ``POST /analyze`` body is byte-identical to the ``repro batch
@@ -32,14 +41,16 @@ import json
 import threading
 import time
 from concurrent.futures import Future
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import repro
 from repro.lang.parser import parse_program, parse_statement
 from repro.lang.pretty import pretty
 from repro.lang.validate import validate_program
-from repro.observe import MetricsAggregator
+from repro.observe import MetricsAggregator, TokenBucket
 from repro.pipeline import (
+    ANALYSES,
+    DEFAULT_CONFIG,
     MemoryLRU,
     ResultCache,
     TieredCache,
@@ -57,6 +68,23 @@ MAX_REQUEST_BYTES = 4 * 1024 * 1024
 #: Per-cell item records the resident metrics aggregator retains (the
 #: cumulative ``run``/``analyses`` aggregates are exact regardless).
 SERVICE_ITEM_RECORDS = 2048
+
+#: Tenant name used when the transport supplies none.
+DEFAULT_TENANT = "default"
+
+#: Tenants tracked individually before new names fold into one
+#: overflow bucket — the tenant header is client-controlled, so the
+#: registry must not grow without bound.
+MAX_TENANTS = 1024
+
+#: Where requests beyond :data:`MAX_TENANTS` distinct tenants land.
+OVERFLOW_TENANT = "(overflow)"
+
+#: ``Retry-After`` hint (seconds) for a busy rejection.  Capacity
+#: frees when an in-flight analysis finishes, which the service cannot
+#: price per-request; one second is the polling cadence we want
+#: well-behaved clients to adopt.
+RETRY_AFTER_BUSY = 1
 
 
 class ServiceError(Exception):
@@ -80,14 +108,23 @@ class AnalysisService:
     tiers, the pool, coalescing, metrics — lives here, which is what
     the test suite drives directly.
 
-    ``jobs=1`` runs analyses in-process (no pool); ``jobs > 1`` keeps a
-    persistent pre-forked pool.  ``cache_dir=None`` disables the disk
-    tier, ``lru_capacity=0`` the memory tier; with both disabled every
-    request recomputes.  ``default_deadline`` applies to requests that
-    do not set ``config.deadline`` themselves (``None`` = unlimited).
+    ``jobs=1`` runs analyses in-process (no pool); ``jobs > 1`` keeps
+    persistent pre-forked pools — ``shards`` of them, each with
+    ``ceil(jobs / shards)`` workers, with requests routed by
+    coalescing-key hash so a heavy key saturates one shard, not all of
+    them.  ``cache_dir=None`` disables the disk tier, ``lru_capacity=0``
+    the memory tier; with both disabled every request recomputes.
+    ``default_deadline`` applies to requests that do not set
+    ``config.deadline`` themselves (``None`` = unlimited).
     ``default_config`` entries back-fill request configs the same way
     (per-request values always win) — ``repro serve --no-fastpath``
     passes ``{"fastpath": False}`` through it.
+
+    Admission: ``max_queue`` bounds ``in_flight + waiting`` (leaders
+    running the pipeline plus admitted requests parsing or waiting on a
+    coalesced future); a request over the bound is a 429, never a
+    queued thread.  ``tenant_rps`` (with ``tenant_burst``, default
+    ``max(1, tenant_rps)``) enables one :class:`TokenBucket` per tenant.
     """
 
     def __init__(
@@ -98,14 +135,35 @@ class AnalysisService:
         default_deadline: Optional[float] = None,
         default_config: Optional[dict] = None,
         chunk_size: Optional[int] = None,
+        shards: int = 1,
+        max_queue: int = 64,
+        tenant_rps: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if tenant_rps is not None and tenant_rps <= 0:
+            raise ValueError(f"tenant_rps must be > 0, got {tenant_rps}")
         self.jobs = jobs
+        # Sharding splits the *pool*; without one there is nothing to
+        # split and every request runs in-process on its own thread.
+        self.shards = shards if jobs > 1 else 1
         self.chunk_size = chunk_size
         self.default_deadline = default_deadline
         self.default_config = dict(default_config or {})
-        self.pool: Optional[WorkerPool] = WorkerPool(jobs) if jobs > 1 else None
+        per_shard = -(-jobs // self.shards)  # ceil: never a 0-worker shard
+        self.pools: List[WorkerPool] = (
+            [
+                WorkerPool(per_shard, label=f"shard-{i}")
+                for i in range(self.shards)
+            ]
+            if jobs > 1
+            else []
+        )
         disk = ResultCache(cache_dir) if cache_dir else None
         if disk is None and lru_capacity == 0:
             self.cache: Optional[TieredCache] = None
@@ -118,41 +176,124 @@ class AnalysisService:
         self.coalesced = 0
         self.rejected = 0
         self.in_flight = 0
+        #: Admitted requests *not* currently running the pipeline:
+        #: leaders still parsing/routing plus coalesced followers
+        #: blocked on another leader's future.  The drain joins these
+        #: threads too, so they are first-class in every snapshot.
+        self.waiting = 0
+        self.max_queue = max_queue
+        self.tenant_rps = tenant_rps
+        self.tenant_burst = tenant_burst
+        self.admission: Dict[str, int] = {
+            "admitted": 0,
+            "rejected_busy": 0,
+            "rate_limited": 0,
+            "aborted": 0,
+        }
+        self.tenants: Dict[str, Dict[str, int]] = {}
+        self.client_disconnects = 0
+        self.body_bytes_read = 0
+        self._buckets: Dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
 
     # -- lifecycle -----------------------------------------------------
 
     def warm(self) -> None:
-        """Pre-fork the worker pool (call before serving threads exist)."""
-        if self.pool is not None:
-            self.pool.warm(self.observer)
+        """Pre-fork every shard's workers (before serving threads exist)."""
+        for pool in self.pools:
+            pool.warm(self.observer)
 
     def begin_drain(self) -> None:
         """Refuse new work; in-flight requests run to completion."""
-        self.draining = True
+        with self._lock:
+            self.draining = True
 
     def close(self) -> None:
-        """Tear down the worker pool."""
-        if self.pool is not None:
-            self.pool.close()
+        """Tear down the worker pools."""
+        for pool in self.pools:
+            pool.close()
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The first shard's pool (the whole pool when ``shards == 1``)."""
+        return self.pools[0] if self.pools else None
 
     # -- request handling ---------------------------------------------
 
-    def analyze_json(self, raw: bytes) -> Tuple[int, bytes]:
+    def analyze_json(self, raw: bytes, tenant: Optional[str] = None) -> Tuple[int, bytes]:
         """Handle one ``POST /analyze`` body; returns (status, body).
 
         Malformed requests are 400s with a JSON error document; valid
         requests always produce the deterministic pipeline document —
         a per-request deadline yields ``degraded``-flagged partial
-        results inside a 200, never a 500.
+        results inside a 200, never a 500.  The headers-free wrapper
+        around :meth:`analyze_request` for callers (and tests) that do
+        not care about ``Retry-After``.
         """
+        status, body, _headers = self.analyze_request(raw, tenant=tenant)
+        return status, body
+
+    def analyze_request(
+        self, raw: bytes, tenant: Optional[str] = None
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        """Full front-line path: returns (status, body, extra headers).
+
+        Order of refusal (each is cheap and happens *before* any
+        pipeline work): 413 oversized body, 429 per-tenant rate limit
+        (``Retry-After`` = seconds until the bucket refills), 429
+        admission bound (``in_flight + waiting`` would exceed
+        ``max_queue``), 400 malformed request.  Only an admitted,
+        validated request reaches the coalescing map and the pool.
+        """
+        tenant_name = tenant or DEFAULT_TENANT
         with self._lock:
             self.requests += 1
+            tenant_name, record = self._tenant_record_locked(tenant_name)
+            record["requests"] += 1
         if len(raw) > MAX_REQUEST_BYTES:
-            return self._reject(
+            status, body = self._reject(
                 f"request body exceeds {MAX_REQUEST_BYTES} bytes", 413
             )
+            return status, body, {}
+        if self.tenant_rps is not None:
+            bucket = self._bucket(tenant_name)
+            if not bucket.try_acquire():
+                retry = max(1, int(bucket.retry_after() + 0.999))
+                with self._lock:
+                    self.rejected += 1
+                    self.admission["rate_limited"] += 1
+                    self.tenants[tenant_name]["rate_limited"] += 1
+                return (
+                    429,
+                    _error_body(
+                        f"tenant {tenant_name!r} over rate limit", 429
+                    ),
+                    {"Retry-After": str(retry)},
+                )
+        with self._lock:
+            if self.in_flight + self.waiting >= self.max_queue:
+                self.rejected += 1
+                self.admission["rejected_busy"] += 1
+                return (
+                    429,
+                    _error_body(
+                        f"service at capacity ({self.max_queue} admitted)",
+                        429,
+                    ),
+                    {"Retry-After": str(RETRY_AFTER_BUSY)},
+                )
+            self.admission["admitted"] += 1
+            self.waiting += 1
+        try:
+            status, body = self._admitted(raw)
+        finally:
+            with self._lock:
+                self.waiting -= 1
+        return status, body, {}
+
+    def _admitted(self, raw: bytes) -> Tuple[int, bytes]:
+        """Parse, coalesce, and run one admitted request body."""
         try:
             request = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
@@ -173,7 +314,7 @@ class AnalysisService:
                 self.coalesced += 1
         if leader:
             try:
-                outcome = self._run(corpus, analyses, config)
+                outcome = self._run(corpus, analyses, config, key)
             except BaseException:
                 # never leave followers hanging on a dead future
                 outcome = (500, _error_body("internal service error", 500))
@@ -191,26 +332,72 @@ class AnalysisService:
             self.rejected += 1
         return status, _error_body(message, status)
 
-    def _run(self, corpus, analyses, config) -> Tuple[int, bytes]:
+    def _tenant_record_locked(
+        self, name: str
+    ) -> Tuple[str, Dict[str, int]]:
+        """Resolve a tenant's counter record (caller holds ``_lock``).
+
+        The tenant header is client-controlled, so past
+        :data:`MAX_TENANTS` distinct names everything new folds into
+        :data:`OVERFLOW_TENANT` — the registry (and the bucket map)
+        stays bounded no matter what clients send.
+        """
+        record = self.tenants.get(name)
+        if record is None:
+            if len(self.tenants) >= MAX_TENANTS:
+                name = OVERFLOW_TENANT
+                record = self.tenants.setdefault(
+                    name, {"requests": 0, "rate_limited": 0}
+                )
+            else:
+                record = {"requests": 0, "rate_limited": 0}
+                self.tenants[name] = record
+        return name, record
+
+    def _bucket(self, name: str) -> TokenBucket:
+        """The (lazily created) rate-limit bucket for one tenant."""
         with self._lock:
+            bucket = self._buckets.get(name)
+            if bucket is None:
+                bucket = TokenBucket(self.tenant_rps, self.tenant_burst)
+                self._buckets[name] = bucket
+            return bucket
+
+    def _shard_for(self, key: str) -> int:
+        """Route a coalescing key to a shard (stable, uniform)."""
+        return int(key[:8], 16) % self.shards
+
+    def _run(self, corpus, analyses, config, key: str) -> Tuple[int, bytes]:
+        pool = self.pools[self._shard_for(key)] if self.pools else None
+        with self._lock:
+            # this thread graduates from *waiting* to *running*; the
+            # caller's finally decrements waiting exactly once, so put
+            # the slot back on the way out.
+            self.waiting -= 1
             self.in_flight += 1
         try:
             result = run_pipeline(
                 corpus,
                 analyses=analyses,
-                jobs=self.jobs,
+                jobs=pool.jobs if pool is not None else self.jobs,
                 config=config,
                 cache=self.cache,
                 use_cache=self.cache is not None,
-                pool=self.pool,
+                pool=pool,
                 observer=self.observer,
                 chunk_size=self.chunk_size,
             )
-        except ValueError as exc:  # unknown analysis / config key
-            return self._reject(str(exc), 400)
+        except Exception:
+            # Request-level validation already happened in
+            # _parse_request; anything escaping the pipeline here is a
+            # service bug and must read as one, never as a client 400.
+            with self._lock:
+                self.admission["aborted"] += 1
+            return 500, _error_body("internal service error", 500)
         finally:
             with self._lock:
                 self.in_flight -= 1
+                self.waiting += 1
         body = (result.to_json() + "\n").encode("utf-8")
         return 200, body
 
@@ -244,6 +431,15 @@ class AnalysisService:
             isinstance(a, str) for a in analyses
         ):
             raise ServiceError("'analyses' must be an array of analysis names")
+        for name in analyses:
+            # validate *here*, before any pipeline work: an unknown
+            # name must be a 400, and the pipeline's own ValueError
+            # must stay free to mean "service bug" (the 500 path).
+            if name not in ANALYSES:
+                raise ServiceError(
+                    f"unknown analysis {name!r}; "
+                    f"available: {', '.join(sorted(ANALYSES))}"
+                )
 
         config = request.get("config", {})
         if not isinstance(config, dict):
@@ -259,6 +455,12 @@ class AnalysisService:
             config["deadline"] = self.default_deadline
         for key, value in self.default_config.items():
             config.setdefault(key, value)
+        for key in config:
+            if key not in DEFAULT_CONFIG:
+                raise ServiceError(
+                    f"unknown config key {key!r}; "
+                    f"available: {', '.join(sorted(DEFAULT_CONFIG))}"
+                )
 
         if "programs" in request:
             if "program" in request:
@@ -335,6 +537,21 @@ class AnalysisService:
     def uptime_seconds(self) -> float:
         return time.monotonic() - self.started_at
 
+    def note_client_disconnect(self) -> None:
+        """Record a client that went away mid-response (transport hook)."""
+        with self._lock:
+            self.client_disconnects += 1
+
+    def note_bytes_read(self, count: int) -> None:
+        """Record request-body bytes actually read off a socket.
+
+        The 413/400 pre-read guards exist so this counter does *not*
+        move for refused oversized bodies — the test suite asserts
+        exactly that through a real socket.
+        """
+        with self._lock:
+            self.body_bytes_read += count
+
     def service_counters(self) -> Dict[str, object]:
         """The ``service`` section of the metrics document."""
         lru = self.cache.lru_stats() if self.cache is not None else None
@@ -342,21 +559,43 @@ class AnalysisService:
             counters: Dict[str, object] = {
                 "requests": self.requests,
                 "in_flight": self.in_flight,
+                "waiting": self.waiting,
                 "coalesced": self.coalesced,
                 "rejected": self.rejected,
                 "draining": self.draining,
+                "client_disconnects": self.client_disconnects,
+                "bytes_read": self.body_bytes_read,
+                "shards": self.shards,
                 "uptime_seconds": self.uptime_seconds(),
                 "lru_hits": lru["hits"] if lru else 0,
                 "lru_misses": lru["misses"] if lru else 0,
+                "admission": dict(self.admission, max_queue=self.max_queue),
+                "tenants": {
+                    name: dict(record)
+                    for name, record in sorted(self.tenants.items())
+                },
             }
         if lru is not None:
             counters["lru"] = lru
-        if self.pool is not None:
+        if self.pools:
+            shards = [
+                {
+                    "jobs": pool.jobs,
+                    "submitted": pool.submitted,
+                    "pools_started": pool.pools_started,
+                }
+                for pool in self.pools
+            ]
+            # "pool" stays the cross-shard aggregate so existing
+            # dashboards keep one number; per-shard detail rides along
+            # only when there is more than one shard to tell apart.
             counters["pool"] = {
-                "jobs": self.pool.jobs,
-                "submitted": self.pool.submitted,
-                "pools_started": self.pool.pools_started,
+                "jobs": sum(s["jobs"] for s in shards),
+                "submitted": sum(s["submitted"] for s in shards),
+                "pools_started": sum(s["pools_started"] for s in shards),
             }
+            if len(shards) > 1:
+                counters["pools"] = shards
         return counters
 
     def metrics_document(self) -> Dict[str, object]:
@@ -375,12 +614,26 @@ class AnalysisService:
         )
 
     def health_document(self) -> Tuple[int, Dict[str, object]]:
-        """The ``/healthz`` payload: 200 while serving, 503 draining."""
-        status = 503 if self.draining else 200
-        return status, {
-            "status": "draining" if self.draining else "ok",
-            "version": repro.__version__,
-            "uptime_seconds": round(self.uptime_seconds(), 3),
-            "requests": self.requests,
-            "in_flight": self.in_flight,
-        }
+        """The ``/healthz`` payload: 200 while serving, 503 draining.
+
+        The snapshot is taken under ``_lock`` — request threads mutate
+        every one of these fields, and a health probe racing a writer
+        must never see a torn view (e.g. ``draining`` true with a
+        stale ``in_flight``).
+        """
+        with self._lock:
+            draining = self.draining
+            document = {
+                "status": "draining" if draining else "ok",
+                "version": repro.__version__,
+                "uptime_seconds": round(self.uptime_seconds(), 3),
+                "requests": self.requests,
+                "in_flight": self.in_flight,
+                "waiting": self.waiting,
+            }
+        return (503 if draining else 200), document
+
+    def drain_snapshot(self) -> Tuple[int, int]:
+        """(in_flight, waiting) under the lock — for the drain log."""
+        with self._lock:
+            return self.in_flight, self.waiting

@@ -6,7 +6,9 @@ Three endpoints, all JSON:
     body: an analysis request (see
     :meth:`repro.service.app.AnalysisService._parse_request`); response:
     the deterministic pipeline document, byte-identical to
-    ``repro batch --json`` for the same inputs.
+    ``repro batch --json`` for the same inputs.  The optional
+    ``X-Repro-Tenant`` header names the tenant for rate-limit
+    accounting; admission refusals are 429s carrying ``Retry-After``.
 ``GET /healthz``
     liveness/readiness: 200 ``{"status": "ok", ...}`` while serving,
     503 ``{"status": "draining", ...}`` once shutdown has begun.
@@ -45,15 +47,29 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
 
-    def _respond(self, status: int, body: bytes) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        # One request per connection: an idle keep-alive connection
-        # would pin a non-daemon thread and stall the drain forever.
-        self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        headers: Optional[dict] = None,
+    ) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            # One request per connection: an idle keep-alive connection
+            # would pin a non-daemon thread and stall the drain forever.
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client gave up mid-response.  Its analysis already
+            # ran (and is cached/coalescable) — that is a disconnect
+            # counter, not a failed request, and certainly not a
+            # traceback per impatient client under overload.
+            self.server.service.note_client_disconnect()
         self.close_connection = True
 
     def _respond_json(self, status: int, document: dict) -> None:
@@ -98,8 +114,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         raw = self.rfile.read(length) if length > 0 else b""
-        status, body = service.analyze_json(raw)
-        self._respond(status, body)
+        service.note_bytes_read(len(raw))
+        tenant = self.headers.get("X-Repro-Tenant")
+        status, body, headers = service.analyze_request(raw, tenant=tenant)
+        self._respond(status, body, headers)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not getattr(self.server, "quiet", False):
@@ -114,10 +132,17 @@ class AnalysisServer(ThreadingHTTPServer):
     ``daemon_threads`` is deliberately ``False``: together with
     ``block_on_close`` (the default) it makes ``server_close`` join
     every in-flight request thread — that *is* the drain.
+
+    ``request_queue_size`` raises the TCP accept backlog from the
+    ``socketserver`` default of 5: refusing load is the admission
+    gauge's job (an explicit 429), not the kernel's (a connection
+    reset a client can only see as a network error).  A connection
+    waiting in the backlog costs nothing until it is accepted.
     """
 
     daemon_threads = False
     allow_reuse_address = True
+    request_queue_size = 128
 
     def __init__(self, address, service: AnalysisService, quiet: bool = False):
         self.service = service
@@ -150,9 +175,11 @@ def serve(
 
     def _drain(signum: int, frame) -> None:
         if not quiet:
+            # locked snapshot: the handler races every request thread
+            in_flight, waiting = service.drain_snapshot()
             sys.stderr.write(
                 f"repro-serve: signal {signum}; draining "
-                f"({service.in_flight} in flight)\n"
+                f"({in_flight} in flight, {waiting} waiting)\n"
             )
             sys.stderr.flush()
         service.begin_drain()
@@ -169,7 +196,8 @@ def serve(
     service.warm()  # fork workers before the first request thread exists
     print(
         f"repro-serve: listening on http://{host}:{server.port} "
-        f"(jobs={service.jobs}, cache="
+        f"(jobs={service.jobs}, shards={service.shards}, "
+        f"max_queue={service.max_queue}, cache="
         f"{'off' if service.cache is None else 'on'})",
         flush=True,
     )

@@ -77,3 +77,45 @@ def test_sequential_explores_each_get_a_fresh_clock():
     second = explore(stmt, budget=budget)
     assert first.complete and not first.degraded
     assert second.complete and not second.degraded
+
+
+def test_token_bucket_starts_full_and_refills_at_rate():
+    from repro.observe import TokenBucket
+
+    bucket = TokenBucket(rate=2.0, burst=4.0)
+    # the burst is spendable immediately...
+    assert all(bucket.try_acquire(now=100.0) for _ in range(4))
+    # ...then the bucket is empty until time passes
+    assert not bucket.try_acquire(now=100.0)
+    assert bucket.retry_after(now=100.0) == pytest.approx(0.5)
+    # 1 second at 2 tokens/s refills 2 tokens
+    assert bucket.try_acquire(now=101.0)
+    assert bucket.try_acquire(now=101.0)
+    assert not bucket.try_acquire(now=101.0)
+
+
+def test_token_bucket_never_exceeds_burst_and_clock_never_runs_backward():
+    from repro.observe import TokenBucket
+
+    bucket = TokenBucket(rate=10.0, burst=2.0)
+    # a long quiet period must cap at burst, not accumulate
+    assert bucket.try_acquire(now=1000.0)
+    assert bucket.try_acquire(now=1000.0)
+    assert not bucket.try_acquire(now=1000.0)
+    # a non-monotonic now (clock skew) must not mint tokens
+    assert not bucket.try_acquire(now=999.0)
+    assert bucket.retry_after(now=999.0) >= 0.0
+
+
+def test_token_bucket_rejects_bad_parameters():
+    from repro.observe import TokenBucket
+
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=-1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=5.0, burst=0.5)
+    # default burst: max(1, rate) — a sub-1/s rate still allows one call
+    assert TokenBucket(rate=0.1).burst == 1.0
+    assert TokenBucket(rate=8.0).burst == 8.0

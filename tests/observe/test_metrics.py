@@ -144,3 +144,70 @@ def test_validator_requires_chunks_and_spans():
     )
     doc["spans"] = [{"name": "run"}]  # no seconds
     assert any("spans[0].seconds" in p for p in validate_metrics(doc))
+
+
+def _service_section():
+    """A service section shaped like AnalysisService.service_counters()."""
+    return {
+        "requests": 3,
+        "in_flight": 0,
+        "waiting": 0,
+        "coalesced": 1,
+        "rejected": 0,
+        "draining": False,
+        "client_disconnects": 0,
+        "bytes_read": 128,
+        "shards": 2,
+        "uptime_seconds": 1.0,
+        "lru_hits": 1,
+        "lru_misses": 2,
+        "admission": {
+            "admitted": 3,
+            "rejected_busy": 0,
+            "rate_limited": 0,
+            "aborted": 0,
+            "max_queue": 16,
+        },
+        "tenants": {"default": {"requests": 3, "rate_limited": 0}},
+    }
+
+
+def _doc_with_service(service):
+    return sample_aggregator().to_dict(
+        elapsed_seconds=1.0, jobs=2, deadline=None, service=service
+    )
+
+
+def test_validator_accepts_the_full_service_section():
+    assert validate_metrics(_doc_with_service(_service_section())) == []
+
+
+def test_validator_requires_admission_and_tenant_counters():
+    service = _service_section()
+    del service["admission"]["max_queue"]
+    problems = validate_metrics(_doc_with_service(service))
+    assert any("admission.max_queue" in p for p in problems)
+
+    service = _service_section()
+    del service["admission"]
+    problems = validate_metrics(_doc_with_service(service))
+    assert any("service.admission" in p for p in problems)
+
+    service = _service_section()
+    service["tenants"]["default"]["requests"] = "three"
+    problems = validate_metrics(_doc_with_service(service))
+    assert any("tenants.default.requests" in p for p in problems)
+
+    service = _service_section()
+    del service["waiting"]
+    problems = validate_metrics(_doc_with_service(service))
+    assert any("service.waiting" in p for p in problems)
+
+    service = _service_section()
+    del service["client_disconnects"]
+    del service["bytes_read"]
+    del service["shards"]
+    problems = validate_metrics(_doc_with_service(service))
+    assert any("client_disconnects" in p for p in problems)
+    assert any("bytes_read" in p for p in problems)
+    assert any("shards" in p for p in problems)

@@ -170,3 +170,98 @@ def test_sigterm_drains_the_inflight_request():
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=30)
+
+
+def test_413_arrives_without_the_body_being_read():
+    """The pre-read guard, proven server-side: an oversized declaration
+    is refused from the header alone — the service's bytes-read counter
+    must not move, while a normal request's body is counted."""
+    import http.client
+
+    from repro.service.app import MAX_REQUEST_BYTES
+
+    proc, base = start_server("--jobs", "1")
+    host_port = base.split("//", 1)[1]
+    try:
+        conn = http.client.HTTPConnection(host_port, timeout=30)
+        try:
+            conn.putrequest("POST", "/analyze")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_REQUEST_BYTES + 1))
+            conn.endheaders()
+            # send a partial body: the 413 must come back while these
+            # bytes sit unread in the socket buffer
+            conn.send(b"x" * 1024)
+            response = conn.getresponse()
+            assert response.status == 413
+            response.read()
+        finally:
+            conn.close()
+        _, metrics = get_json(f"{base}/metrics")
+        assert metrics["service"]["bytes_read"] == 0
+        assert metrics["service"]["requests"] == 0
+
+        # a well-formed request's body IS read and counted
+        payload = {"program": "l := 1", "kind": "statement",
+                   "name": "tiny", "analyses": ["cert"]}
+        status, _ = post_analyze(base, payload)
+        assert status == 200
+        _, metrics = get_json(f"{base}/metrics")
+        assert metrics["service"]["bytes_read"] == len(
+            json.dumps(payload).encode()
+        )
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+
+def test_client_disconnect_is_counted_not_a_crash():
+    """A client that gives up mid-request must become a
+    ``client_disconnects`` tick, not an unhandled traceback — and the
+    server must stay fully serviceable afterwards."""
+    import socket
+    import struct
+
+    proc, base = start_server("--jobs", "1")
+    host, port = base.split("//", 1)[1].split(":")
+    try:
+        request = json.dumps({
+            "program": DIVERGENT, "kind": "statement", "name": "spin",
+            "analyses": ["explore"],
+            "config": {"deadline": 1.0, "max_states": 10**8,
+                       "max_depth": 10**8},
+        }).encode()
+        sock = socket.create_connection((host, int(port)), timeout=30)
+        sock.sendall(
+            b"POST /analyze HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(request)}\r\n\r\n".encode()
+            + request
+        )
+        # abort with RST (SO_LINGER 0) while the analysis is running,
+        # so the server's eventual write hits a dead connection
+        time.sleep(0.3)
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        sock.close()
+
+        deadline = time.monotonic() + 30
+        disconnects = 0
+        while time.monotonic() < deadline:
+            _, metrics = get_json(f"{base}/metrics")
+            disconnects = metrics["service"]["client_disconnects"]
+            if disconnects:
+                break
+            time.sleep(0.1)
+        assert disconnects >= 1
+
+        # still serviceable
+        status, _ = post_analyze(base, {
+            "program": "l := 1", "kind": "statement", "name": "tiny",
+            "analyses": ["cert"],
+        })
+        assert status == 200
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
